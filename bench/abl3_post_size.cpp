@@ -1,0 +1,50 @@
+// Ablation A3: POST size vs bandwidth-delay product.
+//
+// §3.4 argues the per-POST overheads (a ~2-RTT quiescent gap and a fresh
+// slow start) are negligible exactly when the POST is large compared to the
+// bandwidth-delay product. We pit a long-RTT good population against a
+// LAN-RTT good population (equal bandwidth, so the ideal split is 50/50)
+// and shrink the POST: the long-RTT group's share should degrade as the
+// POST stops dwarfing its BDP.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "exp/experiment.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace speakup;
+  bench::print_banner("Ablation A3", "payment POST size vs RTT (quiescence overhead)");
+  bench::print_paper_note(
+      "with 1 MB POSTs (the paper's choice) the long-RTT group stays near its "
+      "proportional share; small POSTs multiply the 2-RTT gaps and slow-start "
+      "ramps, taxing long-RTT clients");
+
+  stats::Table table({"post-size-KB", "lan-rtt-alloc", "long-rtt-alloc",
+                      "long-rtt-share-of-ideal"});
+  for (const std::int64_t post_kb : {25, 100, 1000}) {
+    exp::ScenarioConfig cfg;
+    cfg.mode = exp::DefenseMode::kAuction;
+    cfg.capacity_rps = 10.0;
+    cfg.seed = 33;
+    cfg.duration = bench::experiment_duration();
+    for (const bool long_rtt : {false, true}) {
+      exp::ClientGroupSpec g;
+      g.label = long_rtt ? "long-rtt" : "lan-rtt";
+      g.count = 10;
+      g.workload = client::good_client_params();
+      g.workload.post_size = kilobytes(post_kb);
+      g.access_delay = long_rtt ? Duration::millis(150) : Duration::micros(500);
+      cfg.groups.push_back(g);
+    }
+    const exp::ExperimentResult r = exp::run_scenario(cfg);
+    table.row()
+        .add(post_kb)
+        .add(r.groups[0].allocation, 3)
+        .add(r.groups[1].allocation, 3)
+        .add(r.groups[1].allocation / 0.5, 3);
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Shared helpers for the per-figure benchmark harnesses.
+//
+// Every harness runs the paper's experiment at reduced duration by default
+// (60 s instead of §7.1's 600 s) so the whole bench/ directory executes in
+// minutes. Set SPEAKUP_FULL=1 to run the paper-length experiments.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace speakup::bench {
+
+inline bool full_mode() {
+  const char* env = std::getenv("SPEAKUP_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Experiment duration: the paper's 600 s in full mode, else `quick_sec`.
+inline Duration experiment_duration(double quick_sec = 60.0) {
+  return Duration::seconds(full_mode() ? 600.0 : quick_sec);
+}
+
+inline void print_banner(const char* figure, const char* description) {
+  std::printf("==============================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("mode: %s (set SPEAKUP_FULL=1 for the paper's 600 s runs)\n",
+              full_mode() ? "FULL (600 s)" : "QUICK");
+  std::printf("==============================================================================\n");
+}
+
+inline void print_paper_note(const char* note) { std::printf("paper: %s\n\n", note); }
+
+}  // namespace speakup::bench

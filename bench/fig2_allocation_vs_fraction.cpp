@@ -1,0 +1,46 @@
+// Figure 2: server allocation to good clients as a function of their
+// fraction f of the total client bandwidth. 50 clients x 2 Mbit/s on a LAN,
+// c = 100 requests/s. Series: with speak-up, without speak-up, ideal (f).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/theory.hpp"
+#include "exp/experiment.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace speakup;
+  bench::print_banner("Figure 2", "server allocation vs good clients' bandwidth fraction");
+  bench::print_paper_note(
+      "the speak-up series hugs the ideal line (good clients capture ~f of the "
+      "server); without speak-up, bad clients at lambda=40, w=20 capture far more");
+
+  const int kClients = 50;
+  const double kCapacity = 100.0;
+  stats::Table table({"f=G/(G+B)", "without-speakup", "with-speakup", "ideal"});
+
+  for (int good = 5; good <= 45; good += 5) {
+    const int bad = kClients - good;
+    const double f = static_cast<double>(good) / kClients;
+
+    exp::ScenarioConfig off =
+        exp::lan_scenario(good, bad, kCapacity, exp::DefenseMode::kNone, /*seed=*/21);
+    off.duration = bench::experiment_duration();
+    const exp::ExperimentResult r_off = exp::run_scenario(off);
+
+    exp::ScenarioConfig on =
+        exp::lan_scenario(good, bad, kCapacity, exp::DefenseMode::kAuction, /*seed=*/21);
+    on.duration = bench::experiment_duration();
+    const exp::ExperimentResult r_on = exp::run_scenario(on);
+
+    table.row()
+        .add(f, 2)
+        .add(r_off.allocation_good, 3)
+        .add(r_on.allocation_good, 3)
+        .add(core::theory::ideal_good_allocation(f, 1.0 - f), 3);
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  return 0;
+}

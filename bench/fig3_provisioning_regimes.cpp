@@ -1,0 +1,40 @@
+// Figure 3: server allocation to good and bad clients, and the fraction of
+// good requests served, without ("OFF") and with ("ON") speak-up, for
+// c = 50, 100, 200 requests/s. G = B = 50 Mbit/s (25 good + 25 bad clients,
+// 2 Mbit/s each); c_id = 100.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/theory.hpp"
+#include "exp/experiment.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace speakup;
+  bench::print_banner("Figure 3",
+                      "allocation and fraction of good requests served vs capacity");
+  bench::print_paper_note(
+      "for c = 50 and 100 the ON allocation is roughly proportional to aggregate "
+      "bandwidths (~0.5/0.5); for c = 200 all good requests are served");
+
+  stats::Table table({"capacity", "defense", "alloc(good)", "alloc(bad)",
+                      "frac-good-served", "ideal-alloc(good)"});
+  for (const double c : {50.0, 100.0, 200.0}) {
+    for (const exp::DefenseMode mode :
+         {exp::DefenseMode::kNone, exp::DefenseMode::kAuction}) {
+      exp::ScenarioConfig cfg = exp::lan_scenario(25, 25, c, mode, /*seed=*/22);
+      cfg.duration = bench::experiment_duration();
+      const exp::ExperimentResult r = exp::run_scenario(cfg);
+      table.row()
+          .add(static_cast<std::int64_t>(c))
+          .add(mode == exp::DefenseMode::kNone ? "OFF" : "ON")
+          .add(r.allocation_good, 3)
+          .add(r.allocation_bad, 3)
+          .add(r.fraction_good_served, 3)
+          .add(core::theory::ideal_good_allocation(1.0, 1.0), 3);
+      std::fflush(stdout);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

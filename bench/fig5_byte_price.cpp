@@ -1,0 +1,37 @@
+// Figure 5: average number of bytes sent on the payment channel — the
+// "price" — for served requests, by class, against the theoretical average
+// (G+B)/c ("Upper Bound"). G = B = 50 Mbit/s.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/theory.hpp"
+#include "exp/experiment.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace speakup;
+  bench::print_banner("Figure 5", "average price (KBytes/request) vs capacity");
+  bench::print_paper_note(
+      "when overloaded (c = 50, 100) the price sits near but below the upper "
+      "bound (G+B)/c; when lightly loaded (c = 200) good clients pay ~0");
+
+  // G + B = 50 Mbit/s + 50 Mbit/s = 100 Mbit/s of aggregate client bandwidth.
+  const double kTotalBytesPerSec = 100e6 / 8.0;
+  stats::Table table({"capacity", "price-good-KB", "price-bad-KB", "upper-bound-KB"});
+  for (const double c : {50.0, 100.0, 200.0}) {
+    exp::ScenarioConfig cfg =
+        exp::lan_scenario(25, 25, c, exp::DefenseMode::kAuction, /*seed=*/24);
+    cfg.duration = bench::experiment_duration();
+    const exp::ExperimentResult r = exp::run_scenario(cfg);
+    table.row()
+        .add(static_cast<std::int64_t>(c))
+        .add(r.thinner.price_good.mean() / 1000.0, 1)
+        .add(r.thinner.price_bad.mean() / 1000.0, 1)
+        .add(core::theory::average_price_bytes(kTotalBytesPerSec / 2, kTotalBytesPerSec / 2, c) /
+                 1000.0,
+             1);
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 7: heterogeneous RTTs. 50 LAN clients in five categories:
+// category i (10 clients) has RTT ~= 100*i ms to the thinner; everyone has
+// 2 Mbit/s; c = 10 requests/s. Run twice: all clients good, then all bad.
+// Good clients with long RTTs get a smaller share (slow start + the 2-RTT
+// quiescence between POSTs); bad clients' RTTs matter little because they
+// keep many concurrent connections.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "exp/experiment.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace speakup;
+  bench::print_banner("Figure 7", "per-category server allocation vs client RTT");
+  bench::print_paper_note(
+      "all-good: long-RTT categories fall below the 0.2 ideal (no category "
+      "below ~half or above ~double); all-bad: allocation stays ~flat");
+
+  auto run = [](bool bad) {
+    exp::ScenarioConfig cfg;
+    cfg.mode = exp::DefenseMode::kAuction;
+    cfg.capacity_rps = 10.0;
+    cfg.seed = 26;
+    cfg.duration = bench::experiment_duration();
+    for (int i = 1; i <= 5; ++i) {
+      exp::ClientGroupSpec g;
+      g.label = (bad ? "bad-rtt" : "good-rtt") + std::to_string(100 * i);
+      g.count = 10;
+      g.workload = bad ? client::bad_client_params() : client::good_client_params();
+      // Path RTT = 2 * (client one-way + thinner one-way); thinner side is
+      // 0.5 ms, so aim the client link at (50*i - 0.5) ms.
+      g.access_delay = Duration::micros(50'000 * i - 500);
+      cfg.groups.push_back(g);
+    }
+    return exp::run_scenario(cfg);
+  };
+
+  const exp::ExperimentResult good = run(false);
+  const exp::ExperimentResult bad = run(true);
+
+  stats::Table table({"RTT-ms", "all-good-alloc", "all-bad-alloc", "ideal"});
+  for (int i = 1; i <= 5; ++i) {
+    table.row()
+        .add(static_cast<std::int64_t>(100 * i))
+        .add(good.groups[static_cast<std::size_t>(i - 1)].allocation, 3)
+        .add(bad.groups[static_cast<std::size_t>(i - 1)].allocation, 3)
+        .add(0.2, 3);
+  }
+  table.print(std::cout);
+  return 0;
+}

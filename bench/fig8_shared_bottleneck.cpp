@@ -1,0 +1,83 @@
+// Figure 8: good and bad clients sharing a bottleneck link l.
+//
+// Topology (§7.6): 30 clients (mix varies) behind l (40 Mbit/s — they could
+// generate 60), plus 10 good and 10 bad clients connected directly; every
+// client has 2 Mbit/s; c = 50 requests/s. Metrics per mix:
+//   - how the "bottleneck service" (the server share captured by clients
+//     behind l) splits between the good and bad clients behind l, vs the
+//     client-count-proportional ideal;
+//   - the fraction of bottlenecked good requests served, vs an ideal that
+//     scales each bottlenecked client to 2*(40/60) Mbit/s.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "exp/experiment.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace speakup;
+  bench::print_banner("Figure 8", "good and bad clients sharing a bottleneck link");
+  bench::print_paper_note(
+      "the actual split of the bottleneck service is worse for good clients "
+      "than the proportional ideal because bad clients 'hog' l with many "
+      "concurrent connections");
+
+  stats::Table table({"mix(bn-good/bn-bad)", "bn-share-good", "bn-share-bad",
+                      "ideal-good", "ideal-bad", "frac-bn-good-served"});
+
+  const struct {
+    int good;
+    int bad;
+  } mixes[] = {{25, 5}, {15, 15}, {5, 25}};
+
+  for (const auto& mix : mixes) {
+    exp::ScenarioConfig cfg;
+    cfg.mode = exp::DefenseMode::kAuction;
+    cfg.capacity_rps = 50.0;
+    cfg.seed = 27;
+    cfg.duration = bench::experiment_duration();
+    cfg.bottleneck =
+        exp::BottleneckSpec{Bandwidth::mbps(40.0), Duration::micros(500), 100'000};
+
+    exp::ClientGroupSpec direct_good;
+    direct_good.label = "direct-good";
+    direct_good.count = 10;
+    direct_good.workload = client::good_client_params();
+    cfg.groups.push_back(direct_good);
+
+    exp::ClientGroupSpec direct_bad = direct_good;
+    direct_bad.label = "direct-bad";
+    direct_bad.workload = client::bad_client_params();
+    cfg.groups.push_back(direct_bad);
+
+    exp::ClientGroupSpec bn_good;
+    bn_good.label = "bn-good";
+    bn_good.count = mix.good;
+    bn_good.workload = client::good_client_params();
+    bn_good.behind_bottleneck = true;
+    cfg.groups.push_back(bn_good);
+
+    exp::ClientGroupSpec bn_bad;
+    bn_bad.label = "bn-bad";
+    bn_bad.count = mix.bad;
+    bn_bad.workload = client::bad_client_params();
+    bn_bad.behind_bottleneck = true;
+    cfg.groups.push_back(bn_bad);
+
+    const exp::ExperimentResult r = exp::run_scenario(cfg);
+    const double bn_good_alloc = r.groups[2].allocation;
+    const double bn_bad_alloc = r.groups[3].allocation;
+    const double bn_total = bn_good_alloc + bn_bad_alloc;
+
+    table.row()
+        .add(std::to_string(mix.good) + "/" + std::to_string(mix.bad))
+        .add(bn_total > 0 ? bn_good_alloc / bn_total : 0.0, 3)
+        .add(bn_total > 0 ? bn_bad_alloc / bn_total : 0.0, 3)
+        .add(static_cast<double>(mix.good) / 30.0, 3)
+        .add(static_cast<double>(mix.bad) / 30.0, 3)
+        .add(r.groups[2].totals.fraction_served(), 3);
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// The innocent bystander of §7.7: a host running sequential HTTP downloads
+// (the paper used wget) from a separate web server, sharing a bottleneck
+// link with speak-up clients. End-to-end download latency — connection
+// setup through last byte — is the collateral-damage metric of Figure 9.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "http/message.hpp"
+#include "http/message_stream.hpp"
+#include "http/session_pool.hpp"
+#include "stats/sample_set.hpp"
+#include "transport/host.hpp"
+
+namespace speakup::client {
+
+/// Serves kFileRequest with a body of the requested size.
+class StaticFileServer {
+ public:
+  StaticFileServer(transport::Host& host, std::uint32_t port = 8080)
+      : pool_(host.loop()) {
+    host.listen(port, [this](transport::TcpConnection& conn) {
+      http::MessageStream& s = pool_.adopt(conn);
+      http::MessageStream::Callbacks cbs;
+      cbs.on_message = [this, &s](const http::Message& m) {
+        if (m.type == http::MessageType::kFileRequest) {
+          ++requests_;
+          s.send(http::Message{.type = http::MessageType::kFileResponse,
+                               .request_id = m.request_id,
+                               .body = m.aux});
+        }
+      };
+      cbs.on_reset = [this, &s] { pool_.retire(&s); };
+      s.set_callbacks(std::move(cbs));
+    });
+  }
+
+  [[nodiscard]] std::int64_t requests() const { return requests_; }
+
+ private:
+  http::SessionPool pool_;
+  std::int64_t requests_ = 0;
+};
+
+/// Downloads `count` copies of an n-byte file, back to back, recording
+/// end-to-end latency per download.
+class FileTransferClient {
+ public:
+  struct Config {
+    net::NodeId server = net::kInvalidNode;
+    std::uint32_t port = 8080;
+    Bytes file_size = kilobytes(1);
+    int count = 100;
+    Duration inter_download_gap = Duration::millis(10);
+  };
+
+  FileTransferClient(transport::Host& host, const Config& cfg)
+      : host_(&host), cfg_(cfg), pool_(host.loop()) {}
+
+  FileTransferClient(const FileTransferClient&) = delete;
+  FileTransferClient& operator=(const FileTransferClient&) = delete;
+
+  void set_on_done(std::function<void()> cb) { on_done_ = std::move(cb); }
+
+  void start() { begin_download(); }
+
+  [[nodiscard]] const stats::SampleSet& latencies() const { return latencies_; }
+  [[nodiscard]] int completed() const { return completed_; }
+  [[nodiscard]] int failures() const { return failures_; }
+  [[nodiscard]] bool done() const { return done_; }
+
+ private:
+  void begin_download() {
+    started_at_ = host_->loop().now();
+    transport::TcpConnection& conn = host_->connect(cfg_.server, cfg_.port);
+    stream_ = &pool_.adopt(conn);
+    http::MessageStream::Callbacks cbs;
+    cbs.on_established = [this] {
+      if (stream_ == nullptr) return;
+      stream_->send(http::Message{.type = http::MessageType::kFileRequest,
+                                  .request_id = static_cast<std::uint64_t>(completed_),
+                                  .aux = cfg_.file_size});
+    };
+    cbs.on_message = [this](const http::Message& m) {
+      if (m.type != http::MessageType::kFileResponse) return;
+      latencies_.add((host_->loop().now() - started_at_).sec());
+      ++completed_;
+      next();
+    };
+    cbs.on_reset = [this] {
+      ++failures_;
+      stream_ = nullptr;
+      next();
+    };
+    stream_->set_callbacks(std::move(cbs));
+  }
+
+  void next() {
+    if (stream_ != nullptr) {
+      http::MessageStream* s = stream_;
+      stream_ = nullptr;
+      pool_.retire(s);
+    }
+    if (completed_ + failures_ >= cfg_.count) {
+      done_ = true;
+      if (on_done_) on_done_();
+      return;
+    }
+    host_->loop().schedule(cfg_.inter_download_gap, [this] { begin_download(); });
+  }
+
+  transport::Host* host_;
+  Config cfg_;
+  http::SessionPool pool_;
+  std::function<void()> on_done_;
+  http::MessageStream* stream_ = nullptr;
+  SimTime started_at_;
+  stats::SampleSet latencies_;
+  int completed_ = 0;
+  int failures_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace speakup::client

@@ -1,0 +1,129 @@
+// Client side of the payment channel (§3.3, §6).
+//
+// Mirrors the paper's JavaScript: each POST is a fresh connection carrying
+// kPayOpen + a post_size body of dummy bytes. When the thinner consumes a
+// full POST it replies kPostContinue and the client starts the next POST on
+// a new connection — reproducing the two artifacts the paper analyzes in
+// §3.4/§7.5: a ~2-RTT quiescent gap between POSTs, and TCP slow start for
+// every POST.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "http/message.hpp"
+#include "http/message_stream.hpp"
+#include "http/session_pool.hpp"
+#include "transport/host.hpp"
+
+namespace speakup::client {
+
+class PaymentChannelClient {
+ public:
+  struct Config {
+    net::NodeId thinner = net::kInvalidNode;
+    std::uint32_t payment_port = 81;
+    Bytes post_size = megabytes(1);
+  };
+
+  PaymentChannelClient(transport::Host& host, http::SessionPool& pool, const Config& cfg,
+                       std::uint64_t request_id, http::ClientClass cls)
+      : host_(&host), pool_(&pool), cfg_(cfg), request_id_(request_id), cls_(cls) {}
+
+  PaymentChannelClient(const PaymentChannelClient&) = delete;
+  PaymentChannelClient& operator=(const PaymentChannelClient&) = delete;
+  ~PaymentChannelClient() { stop(); }
+
+  /// Fired when the thinner terminates the channel with kWin.
+  void set_on_win(std::function<void()> cb) { on_win_ = std::move(cb); }
+
+  void start() {
+    if (!stopped_ && stream_ == nullptr) open_channel();
+  }
+
+  /// Stops paying and closes the current channel.
+  void stop() {
+    stopped_ = true;
+    close_current();
+  }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+  [[nodiscard]] std::int64_t posts_completed() const { return posts_completed_; }
+
+  /// Dummy bytes delivered end-to-end (acked), summed over all channels.
+  [[nodiscard]] Bytes bytes_acked() const {
+    Bytes total = acked_previous_;
+    if (stream_ != nullptr && stream_->connection() != nullptr) {
+      total += stream_->connection()->bytes_acked();
+    }
+    return total;
+  }
+
+ private:
+  void open_channel() {
+    transport::TcpConnection& conn = host_->connect(cfg_.thinner, cfg_.payment_port);
+    stream_ = &pool_->adopt(conn);
+    http::MessageStream::Callbacks cbs;
+    cbs.on_established = [this] {
+      if (stream_ == nullptr) return;
+      stream_->send(http::Message{.type = http::MessageType::kPayOpen,
+                                  .request_id = request_id_,
+                                  .cls = cls_});
+      stream_->send(http::Message{.type = http::MessageType::kPostData,
+                                  .request_id = request_id_,
+                                  .body = cfg_.post_size,
+                                  .cls = cls_});
+    };
+    cbs.on_message = [this](const http::Message& m) { on_message(m); };
+    cbs.on_reset = [this] {
+      // Channel killed by the thinner (eviction) or the network. The owning
+      // request's timeout decides what happens next; we just stop.
+      stream_ = nullptr;
+      stopped_ = true;
+    };
+    stream_->set_callbacks(std::move(cbs));
+  }
+
+  void on_message(const http::Message& m) {
+    switch (m.type) {
+      case http::MessageType::kPostContinue:
+        ++posts_completed_;
+        // Next POST on a fresh connection (fresh slow start, ~2 RTT gap).
+        close_current();
+        if (!stopped_) open_channel();
+        break;
+      case http::MessageType::kWin: {
+        stopped_ = true;
+        close_current();
+        if (on_win_) on_win_();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void close_current() {
+    if (stream_ != nullptr) {
+      if (stream_->connection() != nullptr) {
+        acked_previous_ += stream_->connection()->bytes_acked();
+      }
+      http::MessageStream* s = stream_;
+      stream_ = nullptr;
+      pool_->retire(s);
+    }
+  }
+
+  transport::Host* host_;
+  http::SessionPool* pool_;
+  Config cfg_;
+  std::uint64_t request_id_;
+  http::ClientClass cls_;
+  std::function<void()> on_win_;
+  http::MessageStream* stream_ = nullptr;
+  bool stopped_ = false;
+  std::int64_t posts_completed_ = 0;
+  Bytes acked_previous_ = 0;
+};
+
+}  // namespace speakup::client

@@ -1,0 +1,171 @@
+// The §9 "bandwidth envy" remedy: a high-bandwidth payment proxy.
+//
+// Speak-up allocates the server in proportion to bandwidth, so
+// low-bandwidth customers are worse off than high-bandwidth ones during an
+// attack. The paper's proposed solution: "ISPs with low-bandwidth customers
+// [can] offer access to high-bandwidth proxies whose purpose is to pay
+// bandwidth to the thinner ... perhaps by implementing speak-up
+// recursively."
+//
+// PaymentProxy implements that box. Clients talk ordinary speak-up HTTP to
+// the proxy (they can stay completely unmodified — they simply never get
+// asked to pay); the proxy relays each request to the real thinner and,
+// when the thinner demands payment, pays from its own fat uplink. Multiple
+// pending requests pay concurrently and share the proxy's uplink via TCP —
+// the recursive-fairness the paper suggests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "client/payment_channel.hpp"
+#include "http/message.hpp"
+#include "http/message_stream.hpp"
+#include "http/session_pool.hpp"
+#include "transport/host.hpp"
+
+namespace speakup::client {
+
+class PaymentProxy {
+ public:
+  struct Config {
+    net::NodeId thinner = net::kInvalidNode;
+    std::uint32_t thinner_request_port = 80;
+    std::uint32_t thinner_payment_port = 81;
+    std::uint32_t listen_port = 80;         // where clients connect
+    Bytes post_size = megabytes(1);
+  };
+
+  PaymentProxy(transport::Host& host, const Config& cfg)
+      : host_(&host), cfg_(cfg), pool_(host.loop()) {
+    host.listen(cfg.listen_port,
+                [this](transport::TcpConnection& c) { on_client_accept(c); });
+  }
+
+  PaymentProxy(const PaymentProxy&) = delete;
+  PaymentProxy& operator=(const PaymentProxy&) = delete;
+
+  [[nodiscard]] std::int64_t relayed_requests() const { return relayed_; }
+  [[nodiscard]] std::int64_t relayed_responses() const { return responses_; }
+  [[nodiscard]] std::int64_t payments_started() const { return payments_; }
+  [[nodiscard]] std::size_t pending() const { return by_id_.size(); }
+
+ private:
+  struct Relay {
+    std::uint64_t id = 0;
+    http::MessageStream* client_side = nullptr;   // proxy <-> client
+    http::MessageStream* thinner_side = nullptr;  // proxy <-> thinner
+    std::unique_ptr<PaymentChannelClient> payment;
+  };
+
+  void on_client_accept(transport::TcpConnection& conn) {
+    http::MessageStream& s = pool_.adopt(conn);
+    http::MessageStream::Callbacks cbs;
+    cbs.on_message = [this, &s](const http::Message& m) { on_client_message(s, m); };
+    cbs.on_reset = [this, &s] { on_side_reset(s); };
+    s.set_callbacks(std::move(cbs));
+  }
+
+  void on_client_message(http::MessageStream& client_side, const http::Message& m) {
+    if (m.type != http::MessageType::kRequest) return;
+    if (by_id_.find(m.request_id) != by_id_.end()) return;  // duplicate
+    ++relayed_;
+    auto relay = std::make_unique<Relay>();
+    Relay& r = *relay;
+    r.id = m.request_id;
+    r.client_side = &client_side;
+    transport::TcpConnection& out =
+        host_->connect(cfg_.thinner, cfg_.thinner_request_port);
+    r.thinner_side = &pool_.adopt(out);
+    http::MessageStream::Callbacks cbs;
+    cbs.on_established = [this, &r, m] {
+      if (r.thinner_side != nullptr) r.thinner_side->send(m);  // forward verbatim
+    };
+    cbs.on_message = [this, &r](const http::Message& reply) {
+      on_thinner_message(r, reply);
+    };
+    cbs.on_reset = [this, s = r.thinner_side] { on_side_reset(*s); };
+    r.thinner_side->set_callbacks(std::move(cbs));
+    by_stream_[r.client_side] = r.id;
+    by_stream_[r.thinner_side] = r.id;
+    by_id_[r.id] = std::move(relay);
+  }
+
+  void on_thinner_message(Relay& r, const http::Message& m) {
+    switch (m.type) {
+      case http::MessageType::kPleasePay: {
+        // The proxy's purpose: pay on the client's behalf. The client never
+        // sees the payment protocol.
+        if (r.payment != nullptr) break;
+        ++payments_;
+        PaymentChannelClient::Config pc;
+        pc.thinner = cfg_.thinner;
+        pc.payment_port = cfg_.thinner_payment_port;
+        pc.post_size = cfg_.post_size;
+        r.payment = std::make_unique<PaymentChannelClient>(*host_, pool_, pc, r.id,
+                                                           m.cls);
+        r.payment->start();
+        break;
+      }
+      case http::MessageType::kResponse:
+      case http::MessageType::kBusy:
+      case http::MessageType::kAborted:
+      case http::MessageType::kRetry: {
+        if (m.type == http::MessageType::kResponse) ++responses_;
+        if (r.client_side != nullptr) r.client_side->send(m);
+        if (m.type != http::MessageType::kRetry) finish(r.id);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  /// Either side dying tears the whole relay down (and aborts the other
+  /// side so the peer learns promptly).
+  void on_side_reset(http::MessageStream& s) {
+    const auto it = by_stream_.find(&s);
+    if (it == by_stream_.end()) {
+      pool_.retire(&s);
+      return;
+    }
+    const std::uint64_t id = it->second;
+    pool_.retire(&s);
+    const auto rit = by_id_.find(id);
+    if (rit != by_id_.end()) {
+      Relay& r = *rit->second;
+      if (r.client_side == &s) r.client_side = nullptr;
+      if (r.thinner_side == &s) r.thinner_side = nullptr;
+      finish(id);
+    }
+  }
+
+  void finish(std::uint64_t id) {
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) return;
+    Relay& r = *it->second;
+    if (r.payment != nullptr) r.payment->stop();
+    if (r.client_side != nullptr) {
+      by_stream_.erase(r.client_side);
+      // Leave the client-side stream open: the client closes it after
+      // consuming the relayed response; the reset path retires it.
+    }
+    if (r.thinner_side != nullptr) {
+      by_stream_.erase(r.thinner_side);
+      pool_.retire(r.thinner_side);
+    }
+    by_id_.erase(it);
+  }
+
+  transport::Host* host_;
+  Config cfg_;
+  http::SessionPool pool_;
+  std::int64_t relayed_ = 0;
+  std::int64_t responses_ = 0;
+  std::int64_t payments_ = 0;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Relay>> by_id_;
+  std::unordered_map<http::MessageStream*, std::uint64_t> by_stream_;
+};
+
+}  // namespace speakup::client

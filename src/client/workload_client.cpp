@@ -1,0 +1,178 @@
+#include "client/workload_client.hpp"
+
+#include "util/log.hpp"
+
+namespace speakup::client {
+
+using http::Message;
+using http::MessageStream;
+using http::MessageType;
+
+WorkloadClient::WorkloadClient(transport::Host& host, net::NodeId thinner,
+                               const WorkloadParams& params, std::uint32_t client_index,
+                               util::RngStream rng)
+    : host_(&host),
+      thinner_(thinner),
+      params_(params),
+      id_base_(static_cast<std::uint64_t>(client_index + 1) << 32),
+      rng_(std::move(rng)),
+      pool_(host.loop()) {
+  util::require(params.lambda > 0, "client lambda must be positive");
+  util::require(params.window >= 1, "client window must be >= 1");
+}
+
+WorkloadClient::~WorkloadClient() = default;
+
+void WorkloadClient::start() {
+  arrival_event_ = host_->loop().schedule(Duration::seconds(rng_.exponential(params_.lambda)),
+                                          [this] { on_arrival(); });
+}
+
+void WorkloadClient::on_arrival() {
+  if (paused_) return;
+  ++stats_.arrivals;
+  purge_backlog();
+  if (outstanding_.size() < static_cast<std::size_t>(params_.window)) {
+    start_request();
+  } else {
+    backlog_.push_back(host_->loop().now());
+  }
+  arrival_event_ = host_->loop().schedule(Duration::seconds(rng_.exponential(params_.lambda)),
+                                          [this] { on_arrival(); });
+}
+
+void WorkloadClient::start_request() {
+  const std::uint64_t id = id_base_ | next_seq_++;
+  auto pr = std::make_unique<PendingRequest>();
+  pr->id = id;
+  pr->sent = host_->loop().now();
+  pr->timer = std::make_unique<sim::Timer>(host_->loop(), [this, id] {
+    finish(id, Disposition::kDenied);
+  });
+  pr->timer->restart(params_.request_timeout);
+
+  transport::TcpConnection& conn = host_->connect(thinner_, params_.request_port);
+  pr->stream = &pool_.adopt(conn);
+  PendingRequest& ref = *pr;
+  http::MessageStream::Callbacks cbs;
+  cbs.on_established = [this, &ref] {
+    if (ref.stream == nullptr) return;
+    ref.stream->send(Message{.type = MessageType::kRequest,
+                             .request_id = ref.id,
+                             .cls = params_.cls,
+                             .difficulty = params_.difficulty});
+    ++ref.retries_sent;
+  };
+  cbs.on_message = [this, &ref](const Message& m) { on_message(ref, m); };
+  cbs.on_reset = [this, id](/*thinner evicted us or network failure*/) {
+    finish(id, Disposition::kDenied);
+  };
+  cbs.on_acked = [this, &ref](Bytes) {
+    if (ref.retry_pumping) pump_retries(ref);
+  };
+  pr->stream->set_callbacks(std::move(cbs));
+  outstanding_[id] = std::move(pr);
+  ++stats_.started;
+}
+
+void WorkloadClient::on_message(PendingRequest& pr, const Message& m) {
+  switch (m.type) {
+    case MessageType::kPleasePay: {
+      if (pr.payment != nullptr) break;  // already paying
+      pr.paying = true;
+      pr.pay_started = host_->loop().now();
+      PaymentChannelClient::Config pc;
+      pc.thinner = thinner_;
+      pc.payment_port = params_.payment_port;
+      pc.post_size = params_.post_size;
+      pr.payment = std::make_unique<PaymentChannelClient>(*host_, pool_, pc, pr.id, params_.cls);
+      pr.payment->start();
+      break;
+    }
+    case MessageType::kRetry:
+      // §3.2: stream retries without waiting for individual signals.
+      if (!pr.retry_pumping) {
+        pr.retry_pumping = true;
+        pump_retries(pr);
+      }
+      break;
+    case MessageType::kResponse: {
+      ++stats_.served;
+      stats_.response_time.add((host_->loop().now() - pr.sent).sec());
+      if (pr.paying) {
+        stats_.payment_time_client.add((host_->loop().now() - pr.pay_started).sec());
+      }
+      finish(pr.id, Disposition::kServed);
+      break;
+    }
+    case MessageType::kBusy:
+      finish(pr.id, Disposition::kBusyRejected);
+      break;
+    case MessageType::kAborted:
+      finish(pr.id, Disposition::kDenied);
+      break;
+    default:
+      break;
+  }
+}
+
+void WorkloadClient::pump_retries(PendingRequest& pr) {
+  if (pr.stream == nullptr || pr.stream->connection() == nullptr) return;
+  const transport::TcpConnection& conn = *pr.stream->connection();
+  const Bytes per_msg = Message{.type = MessageType::kRequest}.wire_bytes();
+  const auto acked_msgs = conn.bytes_acked() / per_msg;
+  while (pr.retries_sent - acked_msgs < params_.retry_pipeline) {
+    pr.stream->send(Message{.type = MessageType::kRequest,
+                            .request_id = pr.id,
+                            .cls = params_.cls,
+                            .difficulty = params_.difficulty});
+    ++pr.retries_sent;
+    ++stats_.retries_sent;
+  }
+}
+
+void WorkloadClient::finish(std::uint64_t id, Disposition d) {
+  const auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;
+  PendingRequest& pr = *it->second;
+  switch (d) {
+    case Disposition::kServed:
+      break;  // counted by the caller
+    case Disposition::kDenied:
+      ++stats_.denied;
+      break;
+    case Disposition::kBusyRejected:
+      ++stats_.busy_rejected;
+      break;
+  }
+  if (pr.payment != nullptr) {
+    stats_.payment_bytes_acked += pr.payment->bytes_acked();
+    pr.payment->stop();
+  }
+  if (pr.stream != nullptr) {
+    MessageStream* s = pr.stream;
+    pr.stream = nullptr;
+    pool_.retire(s);
+  }
+  outstanding_.erase(it);
+  drain_backlog();
+}
+
+void WorkloadClient::purge_backlog() {
+  const SimTime now = host_->loop().now();
+  while (!backlog_.empty() && now - backlog_.front() > params_.backlog_timeout) {
+    backlog_.pop_front();
+    ++stats_.denied;  // §7.1: queued longer than 10 s -> service denial
+  }
+}
+
+void WorkloadClient::drain_backlog() {
+  purge_backlog();
+  while (!backlog_.empty() &&
+         outstanding_.size() < static_cast<std::size_t>(params_.window)) {
+    backlog_.pop_front();
+    start_request();
+  }
+}
+
+}  // namespace speakup::client

@@ -1,0 +1,124 @@
+// The request-generating client of §7.1, used for both populations:
+//
+//   - requests arrive by a Poisson process of rate lambda;
+//   - at most `window` requests are outstanding; excess arrivals wait in a
+//     backlog queue and become service denials after 10 s;
+//   - an outstanding request that gets no response within 10 s is a denial.
+//
+// Good clients run lambda = 2, window = 1; bad clients lambda = 40,
+// window = 20 (requests sent concurrently) — §7.1. The client is purely
+// reactive to the thinner: kPleasePay starts a payment channel (§3.3 mode),
+// kRetry starts an aggressive congestion-controlled retry stream (§3.2
+// mode), kBusy is an immediate failure (no-defense baseline). Hence the
+// same client code runs under every defense mode, like the paper's single
+// custom client.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "client/client_stats.hpp"
+#include "client/payment_channel.hpp"
+#include "http/message.hpp"
+#include "http/message_stream.hpp"
+#include "http/session_pool.hpp"
+#include "sim/timer.hpp"
+#include "transport/host.hpp"
+#include "util/rng.hpp"
+
+namespace speakup::client {
+
+struct WorkloadParams {
+  double lambda = 2.0;
+  int window = 1;
+  http::ClientClass cls = http::ClientClass::kGood;
+  int difficulty = 1;
+  Bytes post_size = megabytes(1);
+  /// Outstanding requests wait a long time (like a browser); the paper's
+  /// 10 s denial rule (§7.1) applies to the *backlog queue* below.
+  Duration request_timeout = Duration::seconds(300);
+  Duration backlog_timeout = Duration::seconds(10);
+  /// §3.2 mode: target number of unacked retry messages kept in flight.
+  int retry_pipeline = 64;
+  std::uint32_t request_port = 80;
+  std::uint32_t payment_port = 81;
+};
+
+/// Paper defaults (§7.1).
+[[nodiscard]] inline WorkloadParams good_client_params() {
+  WorkloadParams p;
+  p.lambda = 2.0;
+  p.window = 1;
+  p.cls = http::ClientClass::kGood;
+  return p;
+}
+
+[[nodiscard]] inline WorkloadParams bad_client_params() {
+  WorkloadParams p;
+  p.lambda = 40.0;
+  p.window = 20;
+  p.cls = http::ClientClass::kBad;
+  return p;
+}
+
+class WorkloadClient {
+ public:
+  /// `client_index` namespaces this client's request ids; `rng` drives its
+  /// Poisson process.
+  WorkloadClient(transport::Host& host, net::NodeId thinner, const WorkloadParams& params,
+                 std::uint32_t client_index, util::RngStream rng);
+
+  WorkloadClient(const WorkloadClient&) = delete;
+  WorkloadClient& operator=(const WorkloadClient&) = delete;
+  ~WorkloadClient();
+
+  /// Starts the arrival process.
+  void start();
+
+  /// Stops issuing new requests (outstanding ones keep running).
+  void pause() { paused_ = true; }
+
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t outstanding() const { return outstanding_.size(); }
+  [[nodiscard]] std::size_t backlog() const { return backlog_.size(); }
+
+ private:
+  struct PendingRequest {
+    std::uint64_t id = 0;
+    SimTime sent;
+    http::MessageStream* stream = nullptr;
+    std::unique_ptr<PaymentChannelClient> payment;
+    std::unique_ptr<sim::Timer> timer;
+    bool paying = false;
+    SimTime pay_started;
+    bool retry_pumping = false;
+    std::int64_t retries_sent = 0;
+  };
+
+  enum class Disposition { kServed, kDenied, kBusyRejected };
+
+  void on_arrival();
+  void start_request();
+  void on_message(PendingRequest& pr, const http::Message& m);
+  void pump_retries(PendingRequest& pr);
+  void finish(std::uint64_t id, Disposition d);
+  void purge_backlog();
+  void drain_backlog();
+
+  transport::Host* host_;
+  net::NodeId thinner_;
+  WorkloadParams params_;
+  std::uint64_t id_base_;
+  std::uint32_t next_seq_ = 0;
+  util::RngStream rng_;
+  http::SessionPool pool_;
+  ClientStats stats_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<PendingRequest>> outstanding_;
+  std::deque<SimTime> backlog_;  // arrival timestamps of queued requests
+  sim::EventId arrival_event_;
+  bool paused_ = false;
+};
+
+}  // namespace speakup::client

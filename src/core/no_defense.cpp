@@ -1,0 +1,71 @@
+#include "core/no_defense.hpp"
+
+namespace speakup::core {
+
+using http::ClientClass;
+using http::Message;
+using http::MessageStream;
+using http::MessageType;
+
+NoDefenseFrontEnd::NoDefenseFrontEnd(transport::Host& host, const Config& cfg,
+                                     util::RngStream server_rng)
+    : host_(&host),
+      cfg_(cfg),
+      server_(host.loop(), cfg.capacity_rps, std::move(server_rng)),
+      pool_(host.loop()) {
+  server_.set_on_complete([this](const server::ServiceRequest& r) { on_server_complete(r); });
+  host.listen(cfg_.request_port, [this](transport::TcpConnection& c) { on_accept(c); });
+}
+
+void NoDefenseFrontEnd::on_accept(transport::TcpConnection& conn) {
+  MessageStream& s = pool_.adopt(conn);
+  MessageStream::Callbacks cbs;
+  cbs.on_message = [this, &s](const Message& m) { on_message(s, m); };
+  cbs.on_reset = [this, &s] { on_reset(s); };
+  s.set_callbacks(std::move(cbs));
+}
+
+void NoDefenseFrontEnd::on_message(MessageStream& s, const Message& m) {
+  if (m.type != MessageType::kRequest) return;
+  ++stats_.requests_received;
+  if (server_.busy()) {
+    ++stats_.busy_rejections;
+    s.send(Message{.type = MessageType::kBusy, .request_id = m.request_id});
+    return;
+  }
+  if (m.cls == ClientClass::kGood) {
+    ++stats_.served_good;
+  } else if (m.cls == ClientClass::kBad) {
+    ++stats_.served_bad;
+  } else {
+    ++stats_.served_other;
+  }
+  serving_[m.request_id] = Pending{m.request_id, m.cls, &s};
+  by_stream_[&s] = m.request_id;
+  server_.submit(server::ServiceRequest{m.request_id, m.cls, m.difficulty});
+}
+
+void NoDefenseFrontEnd::on_server_complete(const server::ServiceRequest& done) {
+  const auto it = serving_.find(done.request_id);
+  if (it != serving_.end()) {
+    if (it->second.session != nullptr) {
+      it->second.session->send(Message{.type = MessageType::kResponse,
+                                       .request_id = done.request_id,
+                                       .body = cfg_.response_body});
+      by_stream_.erase(it->second.session);
+    }
+    serving_.erase(it);
+  }
+}
+
+void NoDefenseFrontEnd::on_reset(MessageStream& s) {
+  const auto it = by_stream_.find(&s);
+  if (it != by_stream_.end()) {
+    const auto sit = serving_.find(it->second);
+    if (sit != serving_.end()) sit->second.session = nullptr;
+    by_stream_.erase(it);
+  }
+  pool_.retire(&s);
+}
+
+}  // namespace speakup::core

@@ -1,0 +1,61 @@
+// The undefended baseline ("without speak-up" in Figures 2 and 3): when the
+// server is overloaded, excess requests are simply dropped (the client gets
+// an immediate kBusy, the moral equivalent of a refused connection or a 503).
+// The server therefore serves whichever request happens to arrive when it is
+// free — random drops — so its attention divides in proportion to *request
+// rates*, which is exactly what lets high-rate attackers crowd good clients
+// out (§3, Figure 1(a)).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/thinner_stats.hpp"
+#include "http/message.hpp"
+#include "http/message_stream.hpp"
+#include "http/session_pool.hpp"
+#include "server/emulated_server.hpp"
+#include "transport/host.hpp"
+#include "util/rng.hpp"
+
+namespace speakup::core {
+
+class NoDefenseFrontEnd {
+ public:
+  struct Config {
+    double capacity_rps = 100.0;
+    Bytes response_body = 1000;
+    std::uint32_t request_port = 80;
+  };
+
+  NoDefenseFrontEnd(transport::Host& host, const Config& cfg, util::RngStream server_rng);
+
+  NoDefenseFrontEnd(const NoDefenseFrontEnd&) = delete;
+  NoDefenseFrontEnd& operator=(const NoDefenseFrontEnd&) = delete;
+
+  [[nodiscard]] const ThinnerStats& stats() const { return stats_; }
+  [[nodiscard]] const server::EmulatedServer& server() const { return server_; }
+
+ private:
+  struct Pending {
+    std::uint64_t id = 0;
+    http::ClientClass cls = http::ClientClass::kNeutral;
+    http::MessageStream* session = nullptr;
+  };
+
+  void on_accept(transport::TcpConnection& conn);
+  void on_message(http::MessageStream& s, const http::Message& m);
+  void on_reset(http::MessageStream& s);
+  void on_server_complete(const server::ServiceRequest& done);
+
+  transport::Host* host_;
+  Config cfg_;
+  server::EmulatedServer server_;
+  http::SessionPool pool_;
+  ThinnerStats stats_;
+  std::unordered_map<std::uint64_t, Pending> serving_;
+  std::unordered_map<http::MessageStream*, std::uint64_t> by_stream_;
+};
+
+}  // namespace speakup::core

@@ -1,0 +1,71 @@
+// The speak-up variant of §3.2: random drops and aggressive retries.
+//
+// The thinner admits a request when the server is free; otherwise it
+// immediately replies kRetry — the synchronous "please retry now" signal.
+// Clients react by streaming retries in a congestion-controlled stream
+// (they pipeline without waiting for each kRetry; the TCP stream itself
+// paces them). Because the thinner admits whichever retry arrives first
+// at a free server, admissions are distributed in proportion to delivered
+// retry rates — i.e., to bandwidth — which is the §3.2 allocation argument.
+// The price (retries per admission, r = 1/p) emerges; it is recorded in
+// ThinnerStats::retries_good/bad.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/thinner_stats.hpp"
+#include "http/message.hpp"
+#include "http/message_stream.hpp"
+#include "http/session_pool.hpp"
+#include "server/emulated_server.hpp"
+#include "transport/host.hpp"
+#include "util/rng.hpp"
+
+namespace speakup::core {
+
+class RetryThinner {
+ public:
+  struct Config {
+    double capacity_rps = 100.0;
+    Bytes response_body = 1000;
+    std::uint32_t request_port = 80;
+  };
+
+  RetryThinner(transport::Host& host, const Config& cfg, util::RngStream server_rng);
+
+  RetryThinner(const RetryThinner&) = delete;
+  RetryThinner& operator=(const RetryThinner&) = delete;
+
+  [[nodiscard]] const ThinnerStats& stats() const { return stats_; }
+  [[nodiscard]] const server::EmulatedServer& server() const { return server_; }
+  [[nodiscard]] std::int64_t retries_received() const { return retries_received_; }
+
+ private:
+  struct RequestState {
+    std::uint64_t id = 0;
+    http::ClientClass cls = http::ClientClass::kNeutral;
+    int difficulty = 1;
+    std::int64_t retries = 0;
+    bool serving = false;
+    http::MessageStream* session = nullptr;
+  };
+
+  void on_accept(transport::TcpConnection& conn);
+  void on_message(http::MessageStream& s, const http::Message& m);
+  void on_reset(http::MessageStream& s);
+  void on_server_complete(const server::ServiceRequest& done);
+  void admit(RequestState& st);
+
+  transport::Host* host_;
+  Config cfg_;
+  server::EmulatedServer server_;
+  http::SessionPool pool_;
+  ThinnerStats stats_;
+  std::int64_t retries_received_ = 0;
+  std::unordered_map<std::uint64_t, std::unique_ptr<RequestState>> states_;
+  std::unordered_map<http::MessageStream*, std::uint64_t> by_stream_;
+};
+
+}  // namespace speakup::core

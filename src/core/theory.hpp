@@ -1,0 +1,80 @@
+// Closed-form results from the paper (§2.1, §3.1, §3.3, §3.4). The
+// benchmark harnesses print these as the "ideal" series next to measured
+// values, and the tests check the implementation against them.
+#pragma once
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace speakup::core::theory {
+
+/// §3.1 design goal: good clients with demand `g` req/s and aggregate
+/// bandwidth `G` facing attackers with aggregate bandwidth `B` should be
+/// served at min(g, c * G/(G+B)) req/s by a server of capacity `c`.
+/// G and B may be in any common unit (req/s or bytes/s).
+inline double ideal_good_service_rate(double g, double G, double B, double c) {
+  SPEAKUP_ASSERT(g >= 0 && G >= 0 && B >= 0 && c > 0);
+  if (G + B <= 0) return std::min(g, c);
+  return std::min(g, c * G / (G + B));
+}
+
+/// Fraction of the server the good clients should capture when overloaded:
+/// G/(G+B) (Figure 1(b); the "Ideal" series of Figures 2, 3 and 6).
+inline double ideal_good_allocation(double G, double B) {
+  SPEAKUP_ASSERT(G >= 0 && B >= 0);
+  if (G + B <= 0) return 0.0;
+  return G / (G + B);
+}
+
+/// §3.1 idealized provisioning requirement: c_id = g * (1 + B/G) is the
+/// minimum capacity at which *all* good demand is satisfied under exact
+/// bandwidth-proportional allocation.
+inline double ideal_provisioning(double g, double G, double B) {
+  SPEAKUP_ASSERT(g >= 0 && G > 0 && B >= 0);
+  return g * (1.0 + B / G);
+}
+
+/// §3.3 average price: with the thinner receiving G+B bytes/s and auctions
+/// every 1/c seconds on average, the going rate is (G+B)/c bytes/request
+/// (the "Upper Bound" series of Figure 5).
+inline double average_price_bytes(double G_bytes_per_s, double B_bytes_per_s, double c) {
+  SPEAKUP_ASSERT(c > 0);
+  return (G_bytes_per_s + B_bytes_per_s) / c;
+}
+
+/// Theorem 3.1: with perfectly regular service intervals, a client that
+/// continuously delivers an `eps` fraction of the thinner's average inbound
+/// bandwidth receives at least eps/(2-eps) >= eps/2 of the service,
+/// regardless of adversary timing. This returns the tight bound from the
+/// proof, eps/(2-eps) — note k/t >= eps/(2-eps) is what the algebra gives
+/// ("It follows that k/t >= eps/(2-eps) >= eps/2").
+inline double theorem31_service_fraction(double eps) {
+  SPEAKUP_ASSERT(eps >= 0.0 && eps <= 1.0);
+  return eps / (2.0 - eps);
+}
+
+/// The looser headline form of Theorem 3.1: eps/2.
+inline double theorem31_service_fraction_loose(double eps) {
+  SPEAKUP_ASSERT(eps >= 0.0 && eps <= 1.0);
+  return eps / 2.0;
+}
+
+/// §3.4 extension of Theorem 3.1 to service times that fluctuate within
+/// [(1-delta)/c, (1+delta)/c]: the guarantee weakens to (1-2*delta)*eps/2.
+inline double theorem31_service_fraction_jitter(double eps, double delta) {
+  SPEAKUP_ASSERT(delta >= 0.0 && delta <= 0.5);
+  return (1.0 - 2.0 * delta) * theorem31_service_fraction_loose(eps);
+}
+
+/// §2.1 worked example: fraction of the server good clients get *without*
+/// speak-up when they demand g req/s against an attack of B req/s hitting a
+/// server of capacity c with random drops: g/(g+B) of the server (when
+/// g + B > c), i.e. service rate c*g/(g+B).
+inline double no_defense_good_allocation(double g_rps, double attack_rps) {
+  SPEAKUP_ASSERT(g_rps >= 0 && attack_rps >= 0);
+  if (g_rps + attack_rps <= 0) return 0.0;
+  return g_rps / (g_rps + attack_rps);
+}
+
+}  // namespace speakup::core::theory

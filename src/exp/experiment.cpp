@@ -1,0 +1,225 @@
+#include "exp/experiment.hpp"
+
+#include <chrono>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace speakup::exp {
+
+Experiment::Experiment(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
+  util::require(cfg_.capacity_rps > 0, "capacity must be positive");
+  util::require(cfg_.duration > Duration::zero(), "duration must be positive");
+  build();
+}
+
+Experiment::~Experiment() = default;
+
+void Experiment::build() {
+  net_ = std::make_unique<net::Network>(loop_);
+
+  // LAN core and the thinner behind a fat access link (condition C1).
+  net::Switch& core = net_->add_switch("core");
+  thinner_host_ = &net_->add_node<transport::Host>("thinner");
+  net_->connect(*thinner_host_, core,
+                net::LinkSpec{cfg_.thinner_bw, cfg_.thinner_delay, cfg_.thinner_queue});
+
+  // Optional shared bottleneck subtree (§7.6 link l / §7.7 link m).
+  net::Switch* bn_switch = nullptr;
+  if (cfg_.bottleneck.has_value()) {
+    bn_switch = &net_->add_switch("bottleneck-sw");
+    net_->connect(*bn_switch, core,
+                  net::LinkSpec{cfg_.bottleneck->rate, cfg_.bottleneck->delay,
+                                cfg_.bottleneck->queue});
+  }
+
+  // §9 payment proxy (optional): pays the thinner on behalf of the groups
+  // flagged via_proxy.
+  transport::Host* proxy_host = nullptr;
+  if (cfg_.proxy.has_value()) {
+    proxy_host = &net_->add_node<transport::Host>("payment-proxy");
+    net_->connect(*proxy_host, core,
+                  net::LinkSpec{cfg_.proxy->uplink, cfg_.proxy->delay, cfg_.proxy->queue});
+  }
+
+  // Client populations.
+  std::uint32_t client_index = 0;
+  for (std::size_t gi = 0; gi < cfg_.groups.size(); ++gi) {
+    const ClientGroupSpec& g = cfg_.groups[gi];
+    util::require(!g.behind_bottleneck || bn_switch != nullptr,
+                  "group '" + g.label + "' is behind a bottleneck but none is configured");
+    util::require(!g.via_proxy || proxy_host != nullptr,
+                  "group '" + g.label + "' uses the proxy but none is configured");
+    const net::NodeId front_end =
+        g.via_proxy ? proxy_host->id() : thinner_host_->id();
+    for (int i = 0; i < g.count; ++i) {
+      auto& host = net_->add_node<transport::Host>(g.label + "-" + std::to_string(i));
+      net_->connect(host, g.behind_bottleneck ? static_cast<net::Node&>(*bn_switch)
+                                              : static_cast<net::Node&>(core),
+                    net::LinkSpec{g.access_bw, g.access_delay, g.access_queue});
+      clients_.push_back(std::make_unique<client::WorkloadClient>(
+          host, front_end, g.workload, client_index,
+          util::RngStream(cfg_.seed, "client." + std::to_string(client_index))));
+      group_of_client_.push_back(gi);
+      ++client_index;
+    }
+  }
+
+  // §7.7 bystander: web server S on the fast side, downloader H wherever
+  // the spec puts it (behind the bottleneck, in the paper).
+  if (cfg_.collateral.has_value()) {
+    const CollateralSpec& c = *cfg_.collateral;
+    auto& web = net_->add_node<transport::Host>("webserver");
+    net_->connect(web, core,
+                  net::LinkSpec{Bandwidth::mbps(100.0), Duration::micros(500), 1'000'000});
+    file_server_ = std::make_unique<client::StaticFileServer>(web);
+    auto& h = net_->add_node<transport::Host>("downloader");
+    util::require(!c.behind_bottleneck || bn_switch != nullptr,
+                  "collateral downloader needs a configured bottleneck");
+    net_->connect(h, c.behind_bottleneck ? static_cast<net::Node&>(*bn_switch)
+                                         : static_cast<net::Node&>(core),
+                  net::LinkSpec{c.access_bw, c.access_delay, 96'000});
+    client::FileTransferClient::Config fc;
+    fc.server = web.id();
+    fc.file_size = c.file_size;
+    fc.count = c.downloads;
+    downloader_ = std::make_unique<client::FileTransferClient>(h, fc);
+  }
+
+  net_->build_routes();
+
+  if (proxy_host != nullptr) {
+    client::PaymentProxy::Config pc;
+    pc.thinner = thinner_host_->id();
+    proxy_ = std::make_unique<client::PaymentProxy>(*proxy_host, pc);
+  }
+
+  // Front end.
+  util::RngStream server_rng(cfg_.seed, "server");
+  switch (cfg_.mode) {
+    case DefenseMode::kAuction: {
+      core::AuctionThinner::Config tc;
+      tc.capacity_rps = cfg_.capacity_rps;
+      tc.payment_window = cfg_.payment_window;
+      tc.response_body = cfg_.response_body;
+      auction_ = std::make_unique<core::AuctionThinner>(*thinner_host_, tc,
+                                                        std::move(server_rng));
+      break;
+    }
+    case DefenseMode::kRetry: {
+      core::RetryThinner::Config tc;
+      tc.capacity_rps = cfg_.capacity_rps;
+      tc.response_body = cfg_.response_body;
+      retry_ = std::make_unique<core::RetryThinner>(*thinner_host_, tc, std::move(server_rng));
+      break;
+    }
+    case DefenseMode::kNone: {
+      core::NoDefenseFrontEnd::Config tc;
+      tc.capacity_rps = cfg_.capacity_rps;
+      tc.response_body = cfg_.response_body;
+      none_ = std::make_unique<core::NoDefenseFrontEnd>(*thinner_host_, tc,
+                                                        std::move(server_rng));
+      break;
+    }
+    case DefenseMode::kQuantumAuction: {
+      core::QuantumAuctionThinner::Config tc;
+      tc.capacity_rps = cfg_.capacity_rps;
+      tc.payment_window = cfg_.payment_window;
+      tc.quantum = cfg_.quantum;
+      tc.suspension_limit = cfg_.suspension_limit;
+      tc.response_body = cfg_.response_body;
+      quantum_ = std::make_unique<core::QuantumAuctionThinner>(*thinner_host_, tc,
+                                                               std::move(server_rng));
+      break;
+    }
+  }
+}
+
+const core::ThinnerStats& Experiment::thinner_stats() const {
+  if (auction_) return auction_->stats();
+  if (retry_) return retry_->stats();
+  if (none_) return none_->stats();
+  SPEAKUP_ASSERT(quantum_ != nullptr);
+  return quantum_->stats();
+}
+
+ExperimentResult Experiment::run() {
+  util::require(!ran_, "Experiment::run is callable once");
+  ran_ = true;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (auto& c : clients_) c->start();
+  if (downloader_ != nullptr) {
+    loop_.schedule(cfg_.collateral->start_delay, [this] { downloader_->start(); });
+  }
+  loop_.run_until(SimTime::zero() + cfg_.duration);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ExperimentResult r;
+  r.sim_duration = cfg_.duration;
+  r.events_executed = loop_.executed_events();
+  r.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  r.thinner = thinner_stats();
+  r.served_good = r.thinner.served_good;
+  r.served_bad = r.thinner.served_bad;
+  r.served_total = r.thinner.served_total();
+  r.allocation_good = r.thinner.allocation_good();
+  r.allocation_bad = r.thinner.allocation_bad();
+
+  // Server-time split.
+  Duration good_busy = Duration::zero();
+  Duration bad_busy = Duration::zero();
+  Duration all_busy = Duration::zero();
+  if (quantum_) {
+    good_busy = quantum_->server().good_busy_time();
+    bad_busy = quantum_->server().bad_busy_time();
+    all_busy = good_busy + bad_busy;
+  } else {
+    const server::EmulatedServer& srv = auction_ ? auction_->server()
+                                      : retry_   ? retry_->server()
+                                                 : none_->server();
+    good_busy = srv.good_busy_time();
+    bad_busy = srv.bad_busy_time();
+    all_busy = srv.busy_time();
+  }
+  if (all_busy > Duration::zero()) {
+    r.server_time_good = good_busy.sec() / all_busy.sec();
+    r.server_time_bad = bad_busy.sec() / all_busy.sec();
+  }
+  r.server_busy_fraction = all_busy.sec() / cfg_.duration.sec();
+
+  // Per-group results.
+  r.groups.resize(cfg_.groups.size());
+  for (std::size_t gi = 0; gi < cfg_.groups.size(); ++gi) {
+    r.groups[gi].label = cfg_.groups[gi].label;
+    r.groups[gi].count = cfg_.groups[gi].count;
+    r.groups[gi].cls = cfg_.groups[gi].workload.cls;
+  }
+  for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+    GroupResult& g = r.groups[group_of_client_[ci]];
+    g.totals.merge(clients_[ci]->stats());
+    g.served_per_client.push_back(clients_[ci]->stats().served);
+  }
+  client::ClientStats good_totals;
+  for (auto& g : r.groups) {
+    if (r.served_total > 0) {
+      g.allocation = static_cast<double>(g.totals.served) /
+                     static_cast<double>(r.served_total);
+    }
+    if (g.cls == http::ClientClass::kGood) good_totals.merge(g.totals);
+  }
+  r.fraction_good_served = good_totals.fraction_served();
+
+  if (downloader_ != nullptr) {
+    r.collateral_latencies = downloader_->latencies();
+    r.collateral_failures = downloader_->failures();
+  }
+  return r;
+}
+
+ExperimentResult run_scenario(const ScenarioConfig& cfg) {
+  Experiment e(cfg);
+  return e.run();
+}
+
+}  // namespace speakup::exp

@@ -1,0 +1,112 @@
+// Builds a ScenarioConfig into a simulated testbed, runs it, and harvests
+// the numbers the paper's figures report.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/client_stats.hpp"
+#include "client/file_transfer.hpp"
+#include "client/payment_proxy.hpp"
+#include "client/workload_client.hpp"
+#include "core/auction_thinner.hpp"
+#include "core/no_defense.hpp"
+#include "core/quantum_thinner.hpp"
+#include "core/retry_thinner.hpp"
+#include "core/thinner_stats.hpp"
+#include "exp/scenario.hpp"
+#include "net/network.hpp"
+#include "sim/event_loop.hpp"
+#include "stats/sample_set.hpp"
+#include "transport/host.hpp"
+
+namespace speakup::exp {
+
+struct GroupResult {
+  std::string label;
+  int count = 0;
+  http::ClientClass cls = http::ClientClass::kGood;
+  client::ClientStats totals;                 // merged over the group's clients
+  std::vector<std::int64_t> served_per_client;
+  double allocation = 0.0;                    // share of all served requests
+};
+
+struct ExperimentResult {
+  // Aggregates (by served request counts, as in Figures 2, 3, 6, 7, 8).
+  std::int64_t served_total = 0;
+  std::int64_t served_good = 0;
+  std::int64_t served_bad = 0;
+  double allocation_good = 0.0;
+  double allocation_bad = 0.0;
+  /// §5 metric: share of server *time* (heterogeneous requests make counts
+  /// and time differ).
+  double server_time_good = 0.0;
+  double server_time_bad = 0.0;
+  /// The paper's "fraction of good requests served" (Figure 3).
+  double fraction_good_served = 0.0;
+  double server_busy_fraction = 0.0;
+
+  core::ThinnerStats thinner;
+  std::vector<GroupResult> groups;
+
+  // §7.7 bystander.
+  stats::SampleSet collateral_latencies;
+  int collateral_failures = 0;
+
+  // Run metadata.
+  Duration sim_duration = Duration::zero();
+  std::uint64_t events_executed = 0;
+  double wall_seconds = 0.0;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ScenarioConfig cfg);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Runs the scenario to completion and returns the harvested results.
+  /// Callable once.
+  ExperimentResult run();
+
+  // Component access for tests.
+  [[nodiscard]] sim::EventLoop& loop() { return loop_; }
+  [[nodiscard]] net::Network& network() { return *net_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  [[nodiscard]] core::AuctionThinner* auction_thinner() { return auction_.get(); }
+  [[nodiscard]] core::RetryThinner* retry_thinner() { return retry_.get(); }
+  [[nodiscard]] core::NoDefenseFrontEnd* no_defense() { return none_.get(); }
+  [[nodiscard]] core::QuantumAuctionThinner* quantum_thinner() { return quantum_.get(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<client::WorkloadClient>>& clients() const {
+    return clients_;
+  }
+  [[nodiscard]] client::PaymentProxy* payment_proxy() { return proxy_.get(); }
+
+ private:
+  void build();
+  [[nodiscard]] const core::ThinnerStats& thinner_stats() const;
+
+  ScenarioConfig cfg_;
+  sim::EventLoop loop_;
+  std::unique_ptr<net::Network> net_;
+  transport::Host* thinner_host_ = nullptr;
+  std::unique_ptr<core::AuctionThinner> auction_;
+  std::unique_ptr<core::RetryThinner> retry_;
+  std::unique_ptr<core::NoDefenseFrontEnd> none_;
+  std::unique_ptr<core::QuantumAuctionThinner> quantum_;
+  std::vector<std::unique_ptr<client::WorkloadClient>> clients_;
+  std::vector<std::size_t> group_of_client_;  // parallel to clients_
+  std::unique_ptr<client::PaymentProxy> proxy_;
+  std::unique_ptr<client::StaticFileServer> file_server_;
+  std::unique_ptr<client::FileTransferClient> downloader_;
+  bool ran_ = false;
+};
+
+/// Convenience: build + run in one call.
+[[nodiscard]] ExperimentResult run_scenario(const ScenarioConfig& cfg);
+
+}  // namespace speakup::exp

@@ -1,0 +1,57 @@
+// Application-layer messages exchanged between clients, thinner and servers.
+//
+// A message occupies (kMessageHeaderBytes + body) bytes on the TCP stream;
+// the header models HTTP request/status lines and headers. Bodies are dummy
+// bytes (payment POSTs, file contents) — only their size matters.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace speakup::http {
+
+/// Modeled size of an HTTP request line + headers.
+inline constexpr Bytes kMessageHeaderBytes = 100;
+
+enum class MessageType : std::uint8_t {
+  // Client -> thinner (request channel)
+  kRequest,       // the actual service request (paper: HTTP request (1))
+  // Thinner -> client (request channel)
+  kPleasePay,     // server busy: open a payment channel (paper: JavaScript reply)
+  kRetry,         // §3.2 variant: synchronous please-retry signal
+  kBusy,          // no-defense baseline: request dropped
+  kResponse,      // served; body carries the response payload
+  kAborted,       // §5: request aborted after prolonged suspension
+  // Client -> thinner (payment channel)
+  kPayOpen,       // binds the payment channel to a request id
+  kPostData,      // one dummy-byte POST (paper: 1-MByte HTTP POST (2))
+  // Thinner -> client (payment channel)
+  kPostContinue,  // POST consumed; client should send the next one
+  kWin,           // auction won; payment channel terminated
+  // File-transfer workload (§7.7 collateral-damage experiment)
+  kFileRequest,
+  kFileResponse,
+};
+
+/// Which population a client belongs to. Carried in messages for
+/// *accounting only* — the thinner never reads it to make decisions
+/// (speak-up is identity-free; see §2.2 on spoofing).
+enum class ClientClass : std::uint8_t { kGood, kBad, kNeutral };
+
+struct Message {
+  MessageType type = MessageType::kRequest;
+  std::uint64_t request_id = 0;
+  Bytes body = 0;
+  ClientClass cls = ClientClass::kNeutral;  // accounting only
+  /// §5: number of service quanta this request will consume (known to the
+  /// sender; the server discovers it by doing the work; the thinner never
+  /// sees it).
+  int difficulty = 1;
+  /// Free-form parameter (e.g. requested file size in kFileRequest).
+  Bytes aux = 0;
+
+  [[nodiscard]] Bytes wire_bytes() const { return kMessageHeaderBytes + body; }
+};
+
+}  // namespace speakup::http

@@ -1,0 +1,137 @@
+// Message framing over a TcpConnection.
+//
+// The sender side queues message descriptors and writes the corresponding
+// byte counts into the TCP stream; the receiver side watches in-order byte
+// arrival and fires callbacks as message boundaries are crossed. Because
+// payment POSTs must be credited *as the bytes arrive* (a partial payment
+// still counts toward an auction bid — §3.3), the stream reports incremental
+// body progress as well as message completion.
+//
+// A MessageStream attaches itself to its connection's app_handle so the
+// peer endpoint's stream can read the descriptor queue — the simulation
+// shortcut that lets typed messages ride on counted bytes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "http/message.hpp"
+#include "transport/tcp_connection.hpp"
+#include "util/assert.hpp"
+
+namespace speakup::http {
+
+class MessageStream {
+ public:
+  struct Callbacks {
+    std::function<void(const Message&)> on_message;  // fully delivered
+    /// Incremental in-order arrival of a message body (after its header).
+    std::function<void(const Message&, Bytes newly)> on_body_progress;
+    std::function<void()> on_established;
+    /// Peer reset / connection failure.
+    std::function<void()> on_reset;
+    /// Sender side: total stream bytes acked by the peer.
+    std::function<void(Bytes total_acked)> on_acked;
+  };
+
+  explicit MessageStream(transport::TcpConnection& conn) : conn_(&conn) {
+    conn.app_handle() = this;
+    transport::TcpConnection::Callbacks cbs;
+    cbs.on_established = [this] {
+      if (cbs_.on_established) cbs_.on_established();
+    };
+    cbs.on_data = [this](Bytes n) { consume(n); };
+    cbs.on_acked = [this](Bytes total) {
+      if (cbs_.on_acked) cbs_.on_acked(total);
+    };
+    cbs.on_reset = [this] {
+      conn_ = nullptr;
+      if (cbs_.on_reset) cbs_.on_reset();
+    };
+    conn.set_callbacks(std::move(cbs));
+  }
+
+  MessageStream(const MessageStream&) = delete;
+  MessageStream& operator=(const MessageStream&) = delete;
+
+  ~MessageStream() {
+    if (conn_ != nullptr) {
+      conn_->app_handle() = static_cast<MessageStream*>(nullptr);
+      conn_->set_callbacks({});
+    }
+  }
+
+  void set_callbacks(Callbacks cbs) { cbs_ = std::move(cbs); }
+
+  /// Queues a message for transmission.
+  void send(Message m) {
+    if (conn_ == nullptr) return;
+    outbox_.emplace_back(m);
+    conn_->write(m.wire_bytes());
+  }
+
+  /// Aborts the underlying connection (RST).
+  void abort() {
+    if (conn_ != nullptr) {
+      transport::TcpConnection* c = conn_;
+      conn_ = nullptr;
+      c->app_handle() = static_cast<MessageStream*>(nullptr);
+      c->set_callbacks({});
+      c->abort();
+    }
+  }
+
+  [[nodiscard]] bool alive() const { return conn_ != nullptr && !conn_->closed(); }
+  [[nodiscard]] transport::TcpConnection* connection() const { return conn_; }
+
+ private:
+  /// Receiver path: `n` new in-order bytes arrived. Walk them through the
+  /// peer's descriptor queue, firing progress/completion callbacks.
+  void consume(Bytes n) {
+    while (n > 0) {
+      MessageStream* peer = peer_stream();
+      if (peer == nullptr || peer->outbox_.empty()) return;  // raced with teardown
+      Message& front = peer->outbox_.front();
+      if (inbound_header_left_ < 0) inbound_header_left_ = kMessageHeaderBytes;
+      if (inbound_header_left_ > 0) {
+        const Bytes take = std::min(n, inbound_header_left_);
+        inbound_header_left_ -= take;
+        n -= take;
+        if (inbound_header_left_ > 0) return;
+        inbound_body_left_ = front.body;
+      }
+      if (inbound_body_left_ > 0) {
+        const Bytes take = std::min(n, inbound_body_left_);
+        inbound_body_left_ -= take;
+        n -= take;
+        if (take > 0 && cbs_.on_body_progress) cbs_.on_body_progress(front, take);
+      }
+      if (inbound_body_left_ == 0) {
+        const Message done = front;
+        peer->outbox_.pop_front();
+        inbound_header_left_ = -1;  // next message starts fresh
+        if (cbs_.on_message) cbs_.on_message(done);
+        // Callback may have aborted us; re-check.
+        if (conn_ == nullptr) return;
+      }
+    }
+  }
+
+  [[nodiscard]] MessageStream* peer_stream() const {
+    if (conn_ == nullptr) return nullptr;
+    transport::TcpConnection* p = conn_->peer();
+    if (p == nullptr) return nullptr;
+    auto* handle = std::any_cast<MessageStream*>(&p->app_handle());
+    return handle == nullptr ? nullptr : *handle;
+  }
+
+  transport::TcpConnection* conn_;
+  Callbacks cbs_;
+  std::deque<Message> outbox_;       // descriptors not yet fully consumed by peer
+  Bytes inbound_header_left_ = -1;   // -1: waiting for a new message
+  Bytes inbound_body_left_ = 0;
+};
+
+}  // namespace speakup::http

@@ -1,0 +1,51 @@
+// Owns MessageStreams and destroys them safely.
+//
+// A MessageStream must not be destroyed while one of its callbacks is on the
+// stack (the callback object lives in the TcpConnection). The pool therefore
+// defers destruction to the next event-loop tick. Both the thinner and the
+// clients use a pool for every stream they create or accept.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "http/message_stream.hpp"
+#include "sim/event_loop.hpp"
+
+namespace speakup::http {
+
+class SessionPool {
+ public:
+  explicit SessionPool(sim::EventLoop& loop) : loop_(&loop) {}
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// Wraps `conn` in a MessageStream owned by this pool.
+  MessageStream& adopt(transport::TcpConnection& conn) {
+    auto stream = std::make_unique<MessageStream>(conn);
+    MessageStream& ref = *stream;
+    streams_[&ref] = std::move(stream);
+    return ref;
+  }
+
+  /// Aborts the stream's connection (if alive) and schedules destruction.
+  void retire(MessageStream* s) {
+    if (s == nullptr) return;
+    const auto it = streams_.find(s);
+    if (it == streams_.end()) return;  // already retired
+    s->abort();
+    // Defer: the caller may be inside one of s's callbacks.
+    auto victim = std::shared_ptr<MessageStream>(std::move(it->second));
+    streams_.erase(it);
+    loop_->schedule(Duration::zero(), [victim] {});
+  }
+
+  [[nodiscard]] std::size_t live() const { return streams_.size(); }
+
+ private:
+  sim::EventLoop* loop_;
+  std::unordered_map<MessageStream*, std::unique_ptr<MessageStream>> streams_;
+};
+
+}  // namespace speakup::http

@@ -1,0 +1,44 @@
+#include "net/link.hpp"
+
+#include "net/network.hpp"
+
+namespace speakup::net {
+
+Link::Link(Network& net, NodeId a, NodeId b, const LinkSpec& ab, const LinkSpec& ba)
+    : net_(&net), a_(a), b_(b), ab_(ab, b), ba_(ba, a) {
+  SPEAKUP_ASSERT(a != b);
+  SPEAKUP_ASSERT(ab.rate.bits_per_sec() > 0 && ba.rate.bits_per_sec() > 0);
+}
+
+void Link::send(NodeId from, Packet p) {
+  SPEAKUP_ASSERT(from == a_ || from == b_);
+  Direction& d = dir_for(from);
+  if (d.transmitting) {
+    d.queue.push(std::move(p));  // dropped silently on overflow (drop-tail)
+    return;
+  }
+  // Transmitter idle: serialize immediately without passing through the queue.
+  d.transmitting = true;
+  transmit(d, std::move(p));
+}
+
+void Link::transmit(Direction& d, Packet p) {
+  const Duration tx = d.rate.transmission_time(p.wire_size);
+  sim::EventLoop& loop = net_->loop();
+  loop.schedule(tx, [this, &d, p = std::move(p)]() mutable {
+    // Serialization finished: the packet propagates (non-blocking)...
+    d.delivered_bytes += p.wire_size;
+    const NodeId to = d.dst;
+    net_->loop().schedule(d.delay, [this, to, p = std::move(p)]() mutable {
+      net_->deliver(to, std::move(p));
+    });
+    // ...and the transmitter picks up the next queued packet.
+    if (auto next = d.queue.pop()) {
+      transmit(d, std::move(*next));
+    } else {
+      d.transmitting = false;
+    }
+  });
+}
+
+}  // namespace speakup::net

@@ -1,0 +1,71 @@
+// Full-duplex point-to-point link.
+//
+// Each direction has its own serialization rate, propagation delay and
+// drop-tail queue, modeled store-and-forward: a packet is dequeued, occupies
+// the transmitter for wire_size/rate, then arrives after the propagation
+// delay (propagation does not block the next transmission).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/event_loop.hpp"
+#include "util/units.hpp"
+
+namespace speakup::net {
+
+class Network;
+
+struct LinkSpec {
+  Bandwidth rate;
+  Duration delay;                      // one-way propagation
+  Bytes queue_capacity = 96'000;       // ~64 full-size packets
+};
+
+class Link {
+ public:
+  Link(Network& net, NodeId a, NodeId b, const LinkSpec& ab, const LinkSpec& ba);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Sends `p` from endpoint `from` toward the other endpoint.
+  void send(NodeId from, Packet p);
+
+  [[nodiscard]] NodeId endpoint_a() const { return a_; }
+  [[nodiscard]] NodeId endpoint_b() const { return b_; }
+  [[nodiscard]] NodeId other(NodeId n) const { return n == a_ ? b_ : a_; }
+
+  /// Statistics for the direction whose *source* is `from`.
+  [[nodiscard]] const DropTailQueue& queue_from(NodeId from) const {
+    return dir_for(from).queue;
+  }
+  [[nodiscard]] Bytes bytes_delivered_from(NodeId from) const {
+    return dir_for(from).delivered_bytes;
+  }
+
+ private:
+  struct Direction {
+    Direction(const LinkSpec& spec, NodeId to)
+        : rate(spec.rate), delay(spec.delay), queue(spec.queue_capacity), dst(to) {}
+    Bandwidth rate;
+    Duration delay;
+    DropTailQueue queue;
+    NodeId dst;
+    bool transmitting = false;
+    Bytes delivered_bytes = 0;
+  };
+
+  void transmit(Direction& d, Packet p);
+  Direction& dir_for(NodeId from) { return from == a_ ? ab_ : ba_; }
+  [[nodiscard]] const Direction& dir_for(NodeId from) const { return from == a_ ? ab_ : ba_; }
+
+  Network* net_;
+  NodeId a_;
+  NodeId b_;
+  Direction ab_;
+  Direction ba_;
+};
+
+}  // namespace speakup::net

@@ -1,0 +1,73 @@
+#include "net/network.hpp"
+
+#include <deque>
+
+namespace speakup::net {
+
+Switch& Network::add_switch(std::string name) { return add_node<Switch>(std::move(name)); }
+
+Link& Network::connect(const Node& a, const Node& b, const LinkSpec& ab, const LinkSpec& ba) {
+  SPEAKUP_ASSERT(a.id() != b.id());
+  SPEAKUP_ASSERT(link_between(a.id(), b.id()) == nullptr);  // single link per pair
+  auto link = std::make_unique<Link>(*this, a.id(), b.id(), ab, ba);
+  Link& ref = *link;
+  const std::size_t idx = links_.size();
+  links_.push_back(std::move(link));
+  if (adjacency_.size() < nodes_.size()) adjacency_.resize(nodes_.size());
+  adjacency_[static_cast<std::size_t>(a.id())].emplace_back(b.id(), idx);
+  adjacency_[static_cast<std::size_t>(b.id())].emplace_back(a.id(), idx);
+  routes_valid_ = false;
+  return ref;
+}
+
+void Network::build_routes() {
+  const std::size_t n = nodes_.size();
+  adjacency_.resize(n);
+  next_hop_.assign(n, std::vector<NodeId>(n, kInvalidNode));
+  // BFS from every destination: next_hop_[v][dst] = parent-of-v on path to dst.
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    std::vector<bool> seen(n, false);
+    std::deque<NodeId> frontier;
+    seen[dst] = true;
+    frontier.push_back(static_cast<NodeId>(dst));
+    next_hop_[dst][dst] = static_cast<NodeId>(dst);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const auto& [v, link_idx] : adjacency_[static_cast<std::size_t>(u)]) {
+        (void)link_idx;
+        if (!seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = true;
+          next_hop_[static_cast<std::size_t>(v)][dst] = u;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+  routes_valid_ = true;
+}
+
+void Network::forward(NodeId from, Packet p) {
+  if (!routes_valid_) build_routes();
+  SPEAKUP_ASSERT(p.dst != kInvalidNode);
+  const NodeId next = next_hop_[static_cast<std::size_t>(from)][static_cast<std::size_t>(p.dst)];
+  if (next == kInvalidNode || next == from) {
+    ++unroutable_drops_;
+    return;
+  }
+  Link* link = link_between(from, next);
+  SPEAKUP_ASSERT(link != nullptr);
+  link->send(from, std::move(p));
+}
+
+void Network::deliver(NodeId to, Packet p) { node(to).on_packet(std::move(p)); }
+
+Link* Network::link_between(NodeId a, NodeId b) const {
+  if (static_cast<std::size_t>(a) >= adjacency_.size()) return nullptr;
+  for (const auto& [nbr, idx] : adjacency_[static_cast<std::size_t>(a)]) {
+    if (nbr == b) return links_[idx].get();
+  }
+  return nullptr;
+}
+
+}  // namespace speakup::net

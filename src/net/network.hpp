@@ -1,0 +1,93 @@
+// The topology container: owns nodes and links, computes shortest-path
+// routes, and moves packets hop by hop.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+#include "util/assert.hpp"
+
+namespace speakup::net {
+
+class Switch;
+
+class Network {
+ public:
+  explicit Network(sim::EventLoop& loop) : loop_(&loop) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Adds a node of any Node-derived type. The Network owns it.
+  /// Usage: auto& h = net.add_node<transport::Host>("client3");
+  template <typename T, typename... Args>
+  T& add_node(std::string name, Args&&... args) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    auto node = std::make_unique<T>(*this, id, std::move(name), std::forward<Args>(args)...);
+    T& ref = *node;
+    nodes_.push_back(std::move(node));
+    routes_valid_ = false;
+    return ref;
+  }
+
+  Switch& add_switch(std::string name);
+
+  /// Connects two nodes with a symmetric full-duplex link.
+  Link& connect(const Node& a, const Node& b, const LinkSpec& spec) {
+    return connect(a, b, spec, spec);
+  }
+
+  /// Connects two nodes with per-direction specs (a->b uses `ab`).
+  Link& connect(const Node& a, const Node& b, const LinkSpec& ab, const LinkSpec& ba);
+
+  /// Recomputes shortest-path next-hop tables. Called lazily by forward();
+  /// callable explicitly after topology construction.
+  void build_routes();
+
+  /// Moves `p` one hop from `from` toward `p.dst`.
+  void forward(NodeId from, Packet p);
+
+  /// Delivers `p` to node `to` (called by links on arrival).
+  void deliver(NodeId to, Packet p);
+
+  [[nodiscard]] sim::EventLoop& loop() const { return *loop_; }
+  [[nodiscard]] Node& node(NodeId id) const {
+    SPEAKUP_ASSERT(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+    return *nodes_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] Link* link_between(NodeId a, NodeId b) const;
+
+  /// Packets dropped because no route / unroutable destination.
+  [[nodiscard]] std::int64_t unroutable_drops() const { return unroutable_drops_; }
+
+ private:
+  sim::EventLoop* loop_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  // adjacency_[n] lists (neighbor, link index)
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adjacency_;
+  // next_hop_[from][dst] = neighbor on a shortest path, or kInvalidNode
+  std::vector<std::vector<NodeId>> next_hop_;
+  bool routes_valid_ = false;
+  std::int64_t unroutable_drops_ = 0;
+};
+
+/// A store-and-forward switch: relays packets along shortest paths.
+class Switch : public Node {
+ public:
+  Switch(Network& net, NodeId id, std::string name) : Node(net, id, std::move(name)) {}
+
+  void on_packet(Packet p) override {
+    if (p.dst == id()) return;  // switches sink stray packets addressed to them
+    network().forward(id(), std::move(p));
+  }
+};
+
+}  // namespace speakup::net

@@ -1,0 +1,35 @@
+// Base class for everything attached to the network graph.
+#pragma once
+
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace speakup::net {
+
+class Network;
+
+class Node {
+ public:
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  virtual ~Node() = default;
+
+  /// Invoked when a packet arrives at this node off a link.
+  virtual void on_packet(Packet p) = 0;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Network& network() const { return *net_; }
+
+ protected:
+  Node(Network& net, NodeId id, std::string name)
+      : net_(&net), id_(id), name_(std::move(name)) {}
+
+ private:
+  Network* net_;
+  NodeId id_;
+  std::string name_;
+};
+
+}  // namespace speakup::net

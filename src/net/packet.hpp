@@ -1,0 +1,73 @@
+// The unit of transmission in the simulated network.
+//
+// Packets carry byte *counts*, not byte contents: all simulated endpoints
+// live in one address space, so application payloads "teleport" through
+// message-descriptor queues (see http/message_stream.hpp) while the network
+// faithfully simulates the timing, queueing and loss of the counted bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace speakup::net {
+
+/// Index of a node within its Network. Assigned densely from 0.
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class PacketKind : std::uint8_t {
+  kSyn,     // connection request
+  kSynAck,  // connection accept
+  kData,    // payload-bearing segment
+  kAck,     // cumulative acknowledgment
+  kRst,     // abortive teardown / no-such-connection
+};
+
+/// TCP/IP-ish header overhead charged to every packet on the wire.
+inline constexpr Bytes kHeaderBytes = 40;
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t src_port = 0;
+  std::uint32_t dst_port = 0;
+  PacketKind kind = PacketKind::kData;
+  std::int64_t seq = 0;      // kData: stream offset of first payload byte; kAck: cumulative ack
+  Bytes payload = 0;         // kData only
+  Bytes wire_size = kHeaderBytes;  // payload + header overhead
+
+  [[nodiscard]] bool is_control() const { return kind != PacketKind::kData; }
+};
+
+/// Builds a data segment with correct wire size.
+inline Packet make_data_packet(NodeId src, std::uint32_t sport, NodeId dst, std::uint32_t dport,
+                               std::int64_t seq, Bytes payload) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.kind = PacketKind::kData;
+  p.seq = seq;
+  p.payload = payload;
+  p.wire_size = payload + kHeaderBytes;
+  return p;
+}
+
+/// Builds a control packet (SYN/SYN-ACK/ACK/RST); wire size is header-only.
+inline Packet make_control_packet(NodeId src, std::uint32_t sport, NodeId dst, std::uint32_t dport,
+                                  PacketKind kind, std::int64_t seq = 0) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.kind = kind;
+  p.seq = seq;
+  p.payload = 0;
+  p.wire_size = kHeaderBytes;
+  return p;
+}
+
+}  // namespace speakup::net

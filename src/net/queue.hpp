@@ -1,0 +1,63 @@
+// Drop-tail FIFO queue attached to each link direction.
+//
+// Capacity is in bytes (wire size). An arriving packet that does not fit is
+// dropped — the only loss mechanism in the simulator, as in a real drop-tail
+// router. Drop and occupancy counters feed the experiment reports.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "util/assert.hpp"
+
+namespace speakup::net {
+
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(Bytes capacity_bytes) : capacity_(capacity_bytes) {
+    SPEAKUP_ASSERT(capacity_bytes > 0);
+  }
+
+  /// Attempts to enqueue; returns false (and counts a drop) on overflow.
+  bool push(Packet p) {
+    if (occupancy_ + p.wire_size > capacity_) {
+      ++drops_;
+      dropped_bytes_ += p.wire_size;
+      return false;
+    }
+    occupancy_ += p.wire_size;
+    ++enqueued_;
+    q_.push_back(std::move(p));
+    return true;
+  }
+
+  /// Removes and returns the head packet; empty queue yields nullopt.
+  std::optional<Packet> pop() {
+    if (q_.empty()) return std::nullopt;
+    Packet p = std::move(q_.front());
+    q_.pop_front();
+    occupancy_ -= p.wire_size;
+    SPEAKUP_ASSERT(occupancy_ >= 0);
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size_packets() const { return q_.size(); }
+  [[nodiscard]] Bytes size_bytes() const { return occupancy_; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] std::int64_t drops() const { return drops_; }
+  [[nodiscard]] Bytes dropped_bytes() const { return dropped_bytes_; }
+  [[nodiscard]] std::int64_t enqueued() const { return enqueued_; }
+
+ private:
+  Bytes capacity_;
+  Bytes occupancy_ = 0;
+  std::int64_t drops_ = 0;
+  Bytes dropped_bytes_ = 0;
+  std::int64_t enqueued_ = 0;
+  std::deque<Packet> q_;
+};
+
+}  // namespace speakup::net

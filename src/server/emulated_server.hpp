@@ -1,0 +1,94 @@
+// The protected server, emulated exactly as in the paper's prototype (§6):
+// it runs in the thinner's address space, processes one request at a time,
+// and each request's service time is drawn uniformly from
+// [0.9/c, 1.1/c] where c is the capacity in requests/second.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "http/message.hpp"
+#include "sim/event_loop.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace speakup::server {
+
+/// What the thinner hands to the server when admitting a request.
+struct ServiceRequest {
+  std::uint64_t request_id = 0;
+  http::ClientClass cls = http::ClientClass::kNeutral;
+  /// §5: difficulty multiplier; a request of difficulty d consumes d times
+  /// the base service time. Homogeneous workloads use d = 1.
+  int difficulty = 1;
+};
+
+/// Single-request-at-a-time server with stochastic service times.
+class EmulatedServer {
+ public:
+  /// `capacity_rps` is c, in requests per second (of difficulty 1).
+  EmulatedServer(sim::EventLoop& loop, double capacity_rps, util::RngStream rng)
+      : loop_(&loop), capacity_rps_(capacity_rps), rng_(std::move(rng)) {
+    util::require(capacity_rps > 0, "server capacity must be positive");
+  }
+
+  EmulatedServer(const EmulatedServer&) = delete;
+  EmulatedServer& operator=(const EmulatedServer&) = delete;
+
+  /// Invoked when the active request completes. The thinner typically runs
+  /// the next auction from here.
+  void set_on_complete(std::function<void(const ServiceRequest&)> cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] double capacity_rps() const { return capacity_rps_; }
+
+  /// Admits a request; precondition: the server is free.
+  void submit(const ServiceRequest& req) {
+    SPEAKUP_ASSERT(!busy_);
+    busy_ = true;
+    active_ = req;
+    const Duration service = draw_service_time(req.difficulty);
+    busy_time_ += service;
+    if (req.cls == http::ClientClass::kGood) {
+      good_busy_time_ += service;
+    } else if (req.cls == http::ClientClass::kBad) {
+      bad_busy_time_ += service;
+    }
+    ++served_;
+    loop_->schedule(service, [this] {
+      busy_ = false;
+      const ServiceRequest done = active_;
+      if (on_complete_) on_complete_(done);
+    });
+  }
+
+  // --- accounting ---
+  [[nodiscard]] std::int64_t served() const { return served_; }
+  [[nodiscard]] Duration busy_time() const { return busy_time_; }
+  [[nodiscard]] Duration good_busy_time() const { return good_busy_time_; }
+  [[nodiscard]] Duration bad_busy_time() const { return bad_busy_time_; }
+
+ private:
+  [[nodiscard]] Duration draw_service_time(int difficulty) {
+    SPEAKUP_ASSERT(difficulty >= 1);
+    // U[0.9/c, 1.1/c], scaled by difficulty (§6).
+    const double base = rng_.uniform(0.9 / capacity_rps_, 1.1 / capacity_rps_);
+    return Duration::seconds(base * difficulty);
+  }
+
+  sim::EventLoop* loop_;
+  double capacity_rps_;
+  util::RngStream rng_;
+  std::function<void(const ServiceRequest&)> on_complete_;
+  bool busy_ = false;
+  ServiceRequest active_;
+  std::int64_t served_ = 0;
+  Duration busy_time_ = Duration::zero();
+  Duration good_busy_time_ = Duration::zero();
+  Duration bad_busy_time_ = Duration::zero();
+};
+
+}  // namespace speakup::server

@@ -1,0 +1,131 @@
+// Deterministic discrete-event loop.
+//
+// The loop owns a virtual clock and a priority queue of (fire-time, sequence,
+// callback). Ties on fire-time are broken by insertion order, which — with
+// per-component RNG streams (util/rng.hpp) — makes whole experiments
+// bit-reproducible. Events are cancellable; cancellation is lazy (the entry
+// stays in the heap with a tombstone flag) so both schedule and cancel are
+// O(log n) / O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace speakup::sim {
+
+class EventLoop;
+
+/// Handle to a scheduled event; lets the owner cancel it. Default-constructed
+/// handles are inert. Copies share the same underlying event.
+class EventId {
+ public:
+  EventId() = default;
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool pending() const { return state_ && !state_->done; }
+
+ private:
+  friend class EventLoop;
+  struct State {
+    bool done = false;  // fired or cancelled
+  };
+  explicit EventId(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now. Returns a cancellation handle.
+  EventId schedule(Duration delay, std::function<void()> fn) {
+    SPEAKUP_ASSERT(delay >= Duration::zero());
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute time (must not be in the past).
+  EventId schedule_at(SimTime when, std::function<void()> fn) {
+    SPEAKUP_ASSERT(when >= now_);
+    auto state = std::make_shared<EventId::State>();
+    heap_.push(Entry{when, next_seq_++, std::move(fn), state});
+    ++pending_;
+    return EventId{std::move(state)};
+  }
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventId& id) {
+    if (id.state_ && !id.state_->done) {
+      id.state_->done = true;
+      --pending_;
+    }
+    id.state_.reset();
+  }
+
+  /// Runs events until the queue empties or the clock passes `end`; the
+  /// clock then reads `end` (time passes even when nothing happens).
+  /// Events scheduled exactly at `end` do run.
+  void run_until(SimTime end) {
+    while (step(end)) {
+    }
+    if (now_ < end) now_ = end;
+  }
+
+  /// Runs until no events remain, leaving the clock at the last event (use
+  /// with care: self-rescheduling processes make this unbounded).
+  void run() {
+    while (step(SimTime::from_ns(INT64_MAX / 8))) {
+    }
+  }
+
+  /// Number of scheduled-but-not-yet-fired events.
+  [[nodiscard]] std::size_t pending_events() const { return pending_; }
+
+  /// Total events executed so far (for performance reporting).
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  /// Fires the next due event (<= end); returns false if none.
+  bool step(SimTime end) {
+    while (!heap_.empty() && heap_.top().state->done) heap_.pop();  // tombstones
+    if (heap_.empty() || heap_.top().when > end) return false;
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    --pending_;
+    ++executed_;
+    SPEAKUP_ASSERT(e.when >= now_);
+    now_ = e.when;
+    e.state->done = true;
+    e.fn();
+    return true;
+  }
+
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventId::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace speakup::sim

@@ -1,0 +1,47 @@
+// A restartable one-shot timer on top of EventLoop, used for protocol
+// timeouts (TCP RTO, payment-channel expiry, client request timeouts).
+// Restarting implicitly cancels the previous arming.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/event_loop.hpp"
+
+namespace speakup::sim {
+
+class Timer {
+ public:
+  Timer(EventLoop& loop, std::function<void()> on_fire)
+      : loop_(&loop), on_fire_(std::move(on_fire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { cancel(); }
+
+  /// (Re)arms the timer to fire `delay` from now.
+  void restart(Duration delay) {
+    cancel();
+    // Invoke through a by-value copy: the callback is allowed to destroy
+    // this Timer (protocol handlers routinely tear down the state that owns
+    // their timeout), which would otherwise destroy the std::function
+    // mid-execution.
+    id_ = loop_->schedule(delay, [this] {
+      auto fn = on_fire_;
+      fn();
+    });
+  }
+
+  void cancel() {
+    if (id_.pending()) loop_->cancel(id_);
+  }
+
+  [[nodiscard]] bool pending() const { return id_.pending(); }
+
+ private:
+  EventLoop* loop_;
+  std::function<void()> on_fire_;
+  EventId id_;
+};
+
+}  // namespace speakup::sim

@@ -1,0 +1,27 @@
+// Named monotonic counters, used by the thinner and clients to expose
+// behavioural counts (auctions held, channels expired, denials, ...) without
+// each component growing bespoke accessors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace speakup::stats {
+
+class CounterSet {
+ public:
+  void inc(const std::string& name, std::int64_t by = 1) { counters_[name] += by; }
+
+  [[nodiscard]] std::int64_t get(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const { return counters_; }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+};
+
+}  // namespace speakup::stats

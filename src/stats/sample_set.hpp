@@ -1,0 +1,62 @@
+// Stores raw samples for exact percentile queries (payment times, download
+// latencies). Experiments here produce at most a few hundred thousand
+// samples, so exact storage beats a sketch in both simplicity and fidelity.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "stats/online_stats.hpp"
+#include "util/assert.hpp"
+
+namespace speakup::stats {
+
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    summary_.add(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double sum() const { return summary_.sum(); }
+  [[nodiscard]] double mean() const { return summary_.mean(); }
+  [[nodiscard]] double stddev() const { return summary_.stddev(); }
+  [[nodiscard]] double min() const { return summary_.min(); }
+  [[nodiscard]] double max() const { return summary_.max(); }
+  [[nodiscard]] const OnlineStats& summary() const { return summary_; }
+
+  /// Exact percentile (nearest-rank). q in [0, 1]. Empty set -> 0.
+  [[nodiscard]] double percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    SPEAKUP_ASSERT(q >= 0.0 && q <= 1.0);
+    sort_if_needed();
+    const auto rank = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[std::min(rank, samples_.size() - 1)];
+  }
+
+  [[nodiscard]] double median() const { return percentile(0.5); }
+
+  void merge(const SampleSet& o) {
+    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+    summary_.merge(o.summary_);
+    sorted_ = false;
+  }
+
+ private:
+  void sort_if_needed() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  OnlineStats summary_;
+};
+
+}  // namespace speakup::stats

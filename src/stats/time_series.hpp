@@ -1,0 +1,64 @@
+// Fixed-width-bucket time series, as the paper uses for its capacity
+// measurements ("a time series of 5-second intervals", §7.1). Values are
+// accumulated into the bucket containing their timestamp; per-bucket sums
+// and rates can then be summarized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/online_stats.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace speakup::stats {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(Duration bucket_width) : width_(bucket_width) {
+    util::require(bucket_width > Duration::zero(), "bucket width must be positive");
+  }
+
+  /// Adds `value` to the bucket containing `t`. Timestamps may arrive in
+  /// any order but must be non-negative.
+  void add(SimTime t, double value) {
+    SPEAKUP_ASSERT(t.ns() >= 0);
+    const auto idx = static_cast<std::size_t>(t.ns() / width_.ns());
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+    buckets_[idx] += value;
+    total_ += value;
+  }
+
+  [[nodiscard]] Duration bucket_width() const { return width_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] double total() const { return total_; }
+
+  /// Sum in the i-th bucket (0 for buckets never written).
+  [[nodiscard]] double bucket_sum(std::size_t i) const {
+    return i < buckets_.size() ? buckets_[i] : 0.0;
+  }
+
+  /// Per-second rate in the i-th bucket.
+  [[nodiscard]] double bucket_rate(std::size_t i) const {
+    return bucket_sum(i) / width_.sec();
+  }
+
+  /// Summary over per-bucket *rates*, excluding a leading warmup and the
+  /// final (possibly partial) bucket. This is how §7.1 reports the
+  /// thinner's sink rate: mean and standard deviation over 5 s intervals.
+  [[nodiscard]] OnlineStats rate_summary(std::size_t skip_leading = 0) const {
+    OnlineStats s;
+    if (buckets_.size() <= 1) return s;
+    for (std::size_t i = skip_leading; i + 1 < buckets_.size(); ++i) {
+      s.add(bucket_rate(i));
+    }
+    return s;
+  }
+
+ private:
+  Duration width_;
+  std::vector<double> buckets_;
+  double total_ = 0.0;
+};
+
+}  // namespace speakup::stats

@@ -1,0 +1,75 @@
+#include "transport/host.hpp"
+
+#include "util/log.hpp"
+
+namespace speakup::transport {
+
+TcpConnection& Host::connect(net::NodeId dst, std::uint32_t dst_port) {
+  TcpConnection& conn = emplace_connection(alloc_port(), dst, dst_port, /*initiator=*/true);
+  conn.start_handshake();
+  return conn;
+}
+
+void Host::listen(std::uint32_t port, std::function<void(TcpConnection&)> on_accept) {
+  util::require(listeners_.find(port) == listeners_.end(),
+                "port already has a listener on host " + name());
+  listeners_[port] = std::move(on_accept);
+}
+
+TcpConnection& Host::emplace_connection(std::uint32_t local_port, net::NodeId remote,
+                                        std::uint32_t remote_port, bool initiator) {
+  auto conn = std::make_unique<TcpConnection>(*this, local_port, remote, remote_port, tcp_cfg_,
+                                              initiator);
+  TcpConnection& ref = *conn;
+  const ConnKey key{local_port, remote, remote_port};
+  SPEAKUP_ASSERT(conns_.find(key) == conns_.end());
+  conns_[key] = std::move(conn);
+  ++connections_created_;
+  return ref;
+}
+
+TcpConnection* Host::find_connection(std::uint32_t local_port, net::NodeId remote,
+                                     std::uint32_t remote_port) const {
+  const auto it = conns_.find(ConnKey{local_port, remote, remote_port});
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void Host::on_packet(net::Packet p) {
+  SPEAKUP_ASSERT(p.dst == id());
+  if (TcpConnection* conn = find_connection(p.dst_port, p.src, p.src_port)) {
+    conn->on_packet(p);
+    return;
+  }
+  // No matching connection. A SYN to a listening port spawns one.
+  if (p.kind == net::PacketKind::kSyn) {
+    const auto lit = listeners_.find(p.dst_port);
+    if (lit != listeners_.end()) {
+      TcpConnection& conn =
+          emplace_connection(p.dst_port, p.src, p.src_port, /*initiator=*/false);
+      // Link the two endpoints so the message layer can pass descriptors.
+      auto& src_host = dynamic_cast<Host&>(network().node(p.src));
+      if (TcpConnection* initiator = src_host.find_connection(p.src_port, id(), p.dst_port)) {
+        conn.link_peer(initiator);
+        initiator->link_peer(&conn);
+      }
+      lit->second(conn);  // accept callback may set callbacks / write
+      conn.start_passive();
+      return;
+    }
+  }
+  // Anything else aimed at nothing gets an abortive reply, so stale
+  // retransmissions from half-closed peers clean themselves up.
+  if (p.kind != net::PacketKind::kRst) {
+    send_packet(net::make_control_packet(id(), p.dst_port, p.src, p.src_port,
+                                         net::PacketKind::kRst));
+  }
+}
+
+void Host::release(TcpConnection* conn) {
+  SPEAKUP_ASSERT(conn != nullptr && conn->closed());
+  const ConnKey key{conn->local_port(), conn->remote_node(), conn->remote_port()};
+  // Deferred: the connection may be deep in its own call stack right now.
+  loop().schedule(Duration::zero(), [this, key] { conns_.erase(key); });
+}
+
+}  // namespace speakup::transport

@@ -1,0 +1,65 @@
+// An end host: a network node that owns TCP connections and demultiplexes
+// arriving packets to them. Hosts initiate connections (connect) and accept
+// them (listen). A packet that matches no connection and no listener is
+// answered with RST, which lets half-dead connections clean themselves up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "transport/tcp_connection.hpp"
+
+namespace speakup::transport {
+
+class Host : public net::Node {
+ public:
+  Host(net::Network& net, net::NodeId id, std::string name)
+      : Node(net, id, std::move(name)) {}
+
+  void set_tcp_config(const TcpConfig& cfg) { tcp_cfg_ = cfg; }
+  [[nodiscard]] const TcpConfig& tcp_config() const { return tcp_cfg_; }
+
+  /// Opens a connection to (dst, dst_port). The returned reference stays
+  /// valid until the connection closes (teardown destroys it on the next
+  /// event-loop tick).
+  TcpConnection& connect(net::NodeId dst, std::uint32_t dst_port);
+
+  /// Registers an accept callback for a port.
+  void listen(std::uint32_t port, std::function<void(TcpConnection&)> on_accept);
+
+  void on_packet(net::Packet p) override;
+
+  void send_packet(net::Packet p) { network().forward(id(), std::move(p)); }
+
+  [[nodiscard]] TcpConnection* find_connection(std::uint32_t local_port, net::NodeId remote,
+                                               std::uint32_t remote_port) const;
+
+  /// Schedules destruction of a closed connection (deferred so callers on
+  /// the current stack stay valid).
+  void release(TcpConnection* conn);
+
+  [[nodiscard]] sim::EventLoop& loop() const { return network().loop(); }
+  [[nodiscard]] std::int64_t connections_created() const { return connections_created_; }
+  [[nodiscard]] std::size_t live_connections() const { return conns_.size(); }
+
+ private:
+  using ConnKey = std::tuple<std::uint32_t, net::NodeId, std::uint32_t>;
+
+  TcpConnection& emplace_connection(std::uint32_t local_port, net::NodeId remote,
+                                    std::uint32_t remote_port, bool initiator);
+  std::uint32_t alloc_port() { return next_port_++; }
+
+  TcpConfig tcp_cfg_;
+  std::map<ConnKey, std::unique_ptr<TcpConnection>> conns_;
+  std::map<std::uint32_t, std::function<void(TcpConnection&)>> listeners_;
+  std::uint32_t next_port_ = 1024;
+  std::int64_t connections_created_ = 0;
+};
+
+}  // namespace speakup::transport

@@ -1,0 +1,24 @@
+// Tunables of the Reno-style TCP model. Defaults approximate a 2006-era
+// Linux stack (the paper's testbed): MSS 1460, initial window 2 segments,
+// 3 s initial RTO with 200 ms floor, 3-dupack fast retransmit.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace speakup::transport {
+
+struct TcpConfig {
+  Bytes mss = 1460;
+  int initial_cwnd_segments = 2;
+  Bytes initial_ssthresh = 64 * 1024;
+  /// Peer's advertised window / sender socket buffer: caps unacked data in
+  /// flight. 64 KB models a classic stack without window scaling.
+  Bytes max_inflight = 64 * 1024;
+  Duration initial_rto = Duration::seconds(3.0);
+  Duration min_rto = Duration::millis(200);
+  Duration max_rto = Duration::seconds(60.0);
+  int dupack_threshold = 3;
+  int max_syn_retries = 6;
+};
+
+}  // namespace speakup::transport

@@ -1,0 +1,145 @@
+// One endpoint of a simulated TCP connection.
+//
+// Implements the congestion-control behaviours the speak-up evaluation
+// depends on: 3-way handshake (SYN loss costs a full RTO), slow start,
+// AIMD congestion avoidance, fast retransmit/recovery (NewReno-style
+// partial-ack handling), RTO with exponential backoff and Karn's rule,
+// and RFC 6298 RTT estimation.
+//
+// Data is modeled as byte counts. Applications call write(n) to append n
+// bytes to the stream; the receiving endpoint's on_data callback reports
+// in-order arrival. peer() exposes the other endpoint — a simulation
+// shortcut used by the message layer to pass typed message descriptors
+// alongside the faithfully-simulated bytes.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/packet.hpp"
+#include "sim/timer.hpp"
+#include "transport/tcp_config.hpp"
+#include "util/units.hpp"
+
+namespace speakup::transport {
+
+class Host;
+
+class TcpConnection {
+ public:
+  enum class State { kSynSent, kSynReceived, kEstablished, kClosed };
+
+  /// Application-facing callbacks. All optional.
+  struct Callbacks {
+    std::function<void()> on_established;
+    std::function<void(Bytes newly_delivered)> on_data;  // receiver side, in-order bytes
+    std::function<void(Bytes total_acked)> on_acked;     // sender side, cumulative
+    std::function<void()> on_reset;                      // peer RST or local failure
+  };
+
+  TcpConnection(Host& host, std::uint32_t local_port, net::NodeId remote,
+                std::uint32_t remote_port, const TcpConfig& cfg, bool initiator);
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+  ~TcpConnection();
+
+  void set_callbacks(Callbacks cbs) { cbs_ = std::move(cbs); }
+
+  /// Appends `n` bytes to the outgoing stream.
+  void write(Bytes n);
+
+  /// Sends RST and tears the local endpoint down immediately.
+  void abort();
+
+  /// Packet entry point (called by Host demux).
+  void on_packet(const net::Packet& p);
+
+  // --- identity & state ---
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool established() const { return state_ == State::kEstablished; }
+  [[nodiscard]] bool closed() const { return state_ == State::kClosed; }
+  [[nodiscard]] std::uint32_t local_port() const { return local_port_; }
+  [[nodiscard]] net::NodeId remote_node() const { return remote_; }
+  [[nodiscard]] std::uint32_t remote_port() const { return remote_port_; }
+  [[nodiscard]] Host& host() const { return *host_; }
+
+  /// The opposite endpoint (simulation shortcut); nullptr before the
+  /// handshake completes or after the peer closes.
+  [[nodiscard]] TcpConnection* peer() const { return peer_; }
+
+  /// Opaque slot for a higher layer (http::MessageStream) to attach itself.
+  [[nodiscard]] std::any& app_handle() { return app_handle_; }
+
+  // --- counters / introspection (used by tests and reports) ---
+  [[nodiscard]] Bytes bytes_written() const { return app_limit_; }
+  [[nodiscard]] Bytes bytes_acked() const { return snd_una_; }
+  [[nodiscard]] Bytes bytes_delivered() const { return rcv_nxt_; }
+  [[nodiscard]] double cwnd_bytes() const { return cwnd_; }
+  [[nodiscard]] Duration srtt() const { return srtt_; }
+  [[nodiscard]] std::int64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::int64_t timeouts() const { return timeouts_; }
+
+ private:
+  friend class Host;
+
+  void start_handshake();
+  void start_passive();
+  void establish();
+  void try_send();
+  void send_segment(std::int64_t seq, Bytes len, bool retransmission);
+  void send_ack();
+  void handle_ack(std::int64_t ack);
+  void handle_data(std::int64_t seq, Bytes len);
+  void on_rto();
+  void arm_rto();
+  void take_rtt_sample(Duration sample);
+  void enter_fast_recovery();
+  void teardown(bool notify_app);
+  void link_peer(TcpConnection* p) { peer_ = p; }
+
+  [[nodiscard]] Bytes inflight() const { return snd_nxt_ - snd_una_; }
+
+  Host* host_;
+  TcpConfig cfg_;
+  std::uint32_t local_port_;
+  net::NodeId remote_;
+  std::uint32_t remote_port_;
+  State state_;
+  TcpConnection* peer_ = nullptr;
+  std::any app_handle_;
+  Callbacks cbs_;
+
+  // --- send side ---
+  std::int64_t snd_una_ = 0;   // oldest unacked stream offset
+  std::int64_t snd_nxt_ = 0;   // next offset to transmit
+  std::int64_t app_limit_ = 0; // total bytes the app has written
+  double cwnd_;
+  double ssthresh_;
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recover_ = 0;   // NewReno recovery point
+  std::int64_t retransmits_ = 0;
+  std::int64_t timeouts_ = 0;
+  int syn_retries_ = 0;
+
+  // --- RTT estimation (one timed segment at a time; Karn's rule) ---
+  Duration srtt_ = Duration::zero();
+  Duration rttvar_ = Duration::zero();
+  bool have_rtt_ = false;
+  Duration rto_;
+  std::int64_t timed_seq_ = -1;  // -1: nothing being timed
+  SimTime timed_sent_;
+  SimTime syn_sent_at_;
+  bool syn_retransmitted_ = false;
+
+  sim::Timer rto_timer_;
+
+  // --- receive side ---
+  std::int64_t rcv_nxt_ = 0;
+  std::map<std::int64_t, std::int64_t> ooo_;  // out-of-order intervals: start -> end
+};
+
+}  // namespace speakup::transport

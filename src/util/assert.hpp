@@ -1,0 +1,30 @@
+// Invariant checking for the speakup library.
+//
+// SPEAKUP_ASSERT is for internal invariants (never disabled; a violated
+// invariant in a simulator silently corrupts every downstream number, so we
+// keep the checks in release builds as well — they are cheap).
+// speakup::util::require is for user-facing precondition checks on public
+// API boundaries; it throws std::invalid_argument so callers can react.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace speakup::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "speakup: assertion failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+/// Throws std::invalid_argument with `what` unless `ok`.
+inline void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument("speakup: " + what);
+}
+
+}  // namespace speakup::util
+
+#define SPEAKUP_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::speakup::util::assert_fail(#expr, __FILE__, __LINE__))

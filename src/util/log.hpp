@@ -1,0 +1,63 @@
+// Minimal leveled logging. Off by default (simulators emit millions of
+// events); enable per-run via Logger::set_level or the SPEAKUP_LOG
+// environment variable ("debug", "info", "warn", "error", "off").
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace speakup::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel level() { return instance().level_; }
+  static void set_level(LogLevel lv) { instance().level_ = lv; }
+
+  static bool enabled(LogLevel lv) { return static_cast<int>(lv) >= static_cast<int>(level()); }
+
+  template <typename... Args>
+  static void log(LogLevel lv, const char* fmt, Args... args) {
+    if (!enabled(lv)) return;
+    std::fprintf(stderr, "[speakup:%s] ", name(lv));
+    std::fprintf(stderr, fmt, args...);
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  static const char* name(LogLevel lv) {
+    switch (lv) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+      case LogLevel::kOff: return "off";
+    }
+    return "?";
+  }
+
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  Logger() {
+    if (const char* env = std::getenv("SPEAKUP_LOG")) {
+      if (std::strcmp(env, "debug") == 0) level_ = LogLevel::kDebug;
+      else if (std::strcmp(env, "info") == 0) level_ = LogLevel::kInfo;
+      else if (std::strcmp(env, "warn") == 0) level_ = LogLevel::kWarn;
+      else if (std::strcmp(env, "error") == 0) level_ = LogLevel::kError;
+    }
+  }
+
+  LogLevel level_ = LogLevel::kOff;
+};
+
+}  // namespace speakup::util
+
+#define SPEAKUP_LOG_DEBUG(...) ::speakup::util::Logger::log(::speakup::util::LogLevel::kDebug, __VA_ARGS__)
+#define SPEAKUP_LOG_INFO(...) ::speakup::util::Logger::log(::speakup::util::LogLevel::kInfo, __VA_ARGS__)
+#define SPEAKUP_LOG_WARN(...) ::speakup::util::Logger::log(::speakup::util::LogLevel::kWarn, __VA_ARGS__)

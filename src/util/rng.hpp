@@ -1,0 +1,75 @@
+// Reproducible random-number streams.
+//
+// Every stochastic component in an experiment (each client's Poisson process,
+// each server's service-time draw, ...) owns its own RngStream derived from
+// (master seed, stream id). Components therefore consume randomness
+// independently: adding a client or reordering events never perturbs another
+// component's draws, which keeps experiments comparable across configurations.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+#include "util/assert.hpp"
+
+namespace speakup::util {
+
+/// FNV-1a, used to hash stream names into seed material.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// One independent stream of pseudo-random numbers.
+class RngStream {
+ public:
+  RngStream(std::uint64_t master_seed, std::string_view stream_name)
+      : engine_(mix(master_seed, fnv1a(stream_name))) {}
+  RngStream(std::uint64_t master_seed, std::uint64_t stream_id)
+      : engine_(mix(master_seed, stream_id)) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    SPEAKUP_ASSERT(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    SPEAKUP_ASSERT(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponential with the given rate (events per unit time). Mean = 1/rate.
+  double exponential(double rate) {
+    SPEAKUP_ASSERT(rate > 0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  // SplitMix64 finalizer: spreads correlated (seed, id) pairs across the
+  // whole 64-bit space before seeding the Mersenne Twister.
+  static std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t z = a + 0x9e3779b97f4a7c15ull * (b + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::mt19937_64 engine_;
+};
+
+}  // namespace speakup::util

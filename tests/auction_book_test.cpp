@@ -1,0 +1,187 @@
+// Tests for the AuctionBook — the §3.3 mechanism in isolation — plus
+// adversarial auction games validating Theorem 3.1 against the book itself.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/auction_book.hpp"
+#include "core/theory.hpp"
+#include "util/rng.hpp"
+
+namespace speakup::core {
+namespace {
+
+TEST(AuctionBook, EmptyBookHasNoWinner) {
+  AuctionBook book;
+  EXPECT_FALSE(book.winner().has_value());
+  EXPECT_FALSE(book.settle().has_value());
+  EXPECT_EQ(book.size(), 0u);
+}
+
+TEST(AuctionBook, HighestBidWins) {
+  AuctionBook book;
+  book.credit(1, 100);
+  book.credit(2, 300);
+  book.credit(3, 200);
+  ASSERT_TRUE(book.winner().has_value());
+  EXPECT_EQ(*book.winner(), 2u);
+}
+
+TEST(AuctionBook, CreditsAccumulate) {
+  AuctionBook book;
+  book.credit(1, 100);
+  book.credit(2, 150);
+  book.credit(1, 100);  // 1 now has 200
+  EXPECT_DOUBLE_EQ(book.bid(1), 200.0);
+  EXPECT_EQ(*book.winner(), 1u);
+}
+
+TEST(AuctionBook, TieGoesToEarliestRegistration) {
+  AuctionBook book;
+  book.credit(7, 100);
+  book.credit(3, 100);  // same bid, registered later
+  EXPECT_EQ(*book.winner(), 7u);
+}
+
+TEST(AuctionBook, ZeroBidsStillAuction) {
+  // Contenders that have paid nothing can still win (direct admissions at
+  // light load); earliest registration wins.
+  AuctionBook book;
+  book.register_bidder(5);
+  book.register_bidder(6);
+  EXPECT_EQ(*book.winner(), 5u);
+}
+
+TEST(AuctionBook, IneligibleBidderCannotWin) {
+  AuctionBook book;
+  book.credit(1, 500);
+  book.set_eligible(1, false);  // paid but its request never arrived
+  book.credit(2, 10);
+  EXPECT_EQ(*book.winner(), 2u);
+  book.set_eligible(1, true);  // the request shows up
+  EXPECT_EQ(*book.winner(), 1u);
+}
+
+TEST(AuctionBook, AllIneligibleMeansNoWinner) {
+  AuctionBook book;
+  book.credit(1, 500);
+  book.set_eligible(1, false);
+  EXPECT_FALSE(book.winner().has_value());
+}
+
+TEST(AuctionBook, SettleResetsWinnersBid) {
+  AuctionBook book;
+  book.credit(1, 300);
+  book.credit(2, 100);
+  EXPECT_EQ(*book.settle(), 1u);
+  EXPECT_DOUBLE_EQ(book.bid(1), 0.0);
+  // Next settle: 2 wins with its untouched balance.
+  EXPECT_EQ(*book.settle(), 2u);
+}
+
+TEST(AuctionBook, RemoveDropsBidder) {
+  AuctionBook book;
+  book.credit(1, 300);
+  book.credit(2, 100);
+  book.remove(1);
+  EXPECT_FALSE(book.contains(1));
+  EXPECT_EQ(*book.winner(), 2u);
+  EXPECT_DOUBLE_EQ(book.bid(1), 0.0);  // gone entirely
+}
+
+TEST(AuctionBook, ResetBidKeepsRegistration) {
+  AuctionBook book;
+  book.credit(1, 300);
+  book.reset_bid(1);
+  EXPECT_TRUE(book.contains(1));
+  EXPECT_DOUBLE_EQ(book.bid(1), 0.0);
+}
+
+TEST(AuctionBook, RegisterIsIdempotent) {
+  AuctionBook book;
+  book.credit(1, 50);
+  book.register_bidder(1);  // must not reset the balance or rank
+  EXPECT_DOUBLE_EQ(book.bid(1), 50.0);
+  EXPECT_EQ(book.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.1 games, driven through the real AuctionBook.
+// ---------------------------------------------------------------------------
+
+/// The victim deposits eps per service interval, the adversary (1-eps)
+/// distributed by `strategy`. Returns the victim's win fraction.
+template <typename Strategy>
+double auction_game(double eps, int ticks, Strategy strategy) {
+  AuctionBook book;
+  const std::uint64_t kVictim = 0;
+  int wins = 0;
+  for (int t = 0; t < ticks; ++t) {
+    book.credit(kVictim, eps);
+    strategy(t, book, book.bid(kVictim));
+    const auto w = book.settle();
+    if (w.has_value() && *w == kVictim) ++wins;
+  }
+  return static_cast<double>(wins) / ticks;
+}
+
+struct GameParam {
+  const char* name;
+  double eps;
+};
+
+class AuctionBookTheorem : public ::testing::TestWithParam<GameParam> {};
+
+TEST_P(AuctionBookTheorem, SingleHoarderRespectsBound) {
+  const double eps = GetParam().eps;
+  const double won = auction_game(eps, 20'000, [&](int, AuctionBook& b, double) {
+    b.credit(1, 1.0 - eps);
+  });
+  EXPECT_GE(won, core::theory::theorem31_service_fraction(eps) * 0.95);
+}
+
+TEST_P(AuctionBookTheorem, ManyWaySplitRespectsBound) {
+  const double eps = GetParam().eps;
+  const double won = auction_game(eps, 20'000, [&](int, AuctionBook& b, double) {
+    for (std::uint64_t i = 1; i <= 20; ++i) b.credit(i, (1.0 - eps) / 20);
+  });
+  EXPECT_GE(won, core::theory::theorem31_service_fraction(eps) * 0.95);
+}
+
+TEST_P(AuctionBookTheorem, ReactiveOutbidderRespectsLooseBound) {
+  // The proof's worst case: outbid the victim by exactly epsilon, banking
+  // the rest. Ties go against newer bidders, so bid slightly above.
+  const double eps = GetParam().eps;
+  const double won = auction_game(eps, 20'000, [&](int, AuctionBook& b, double victim) {
+    b.credit(2, 1.0 - eps);  // bank
+    const double need = victim - b.bid(1) + 1e-9;
+    if (need > 0 && b.bid(2) >= need) {
+      // Move `need` from the bank to the active bid.
+      const double bank = b.bid(2);
+      b.reset_bid(2);
+      b.credit(2, bank - need);
+      b.credit(1, need);
+    }
+  });
+  EXPECT_GE(won, core::theory::theorem31_service_fraction_loose(eps) * 0.9);
+}
+
+TEST_P(AuctionBookTheorem, RandomizedSplitRespectsBound) {
+  const double eps = GetParam().eps;
+  util::RngStream rng(3, "book-theorem");
+  const double won = auction_game(eps, 20'000, [&](int, AuctionBook& b, double) {
+    b.credit(1 + static_cast<std::uint64_t>(rng.uniform_int(0, 7)), 1.0 - eps);
+  });
+  EXPECT_GE(won, core::theory::theorem31_service_fraction(eps) * 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, AuctionBookTheorem,
+                         ::testing::Values(GameParam{"eps05", 0.05}, GameParam{"eps10", 0.10},
+                                           GameParam{"eps20", 0.20}, GameParam{"eps33", 0.33},
+                                           GameParam{"eps50", 0.50}),
+                         [](const ::testing::TestParamInfo<GameParam>& i) {
+                           return i.param.name;
+                         });
+
+}  // namespace
+}  // namespace speakup::core

@@ -1,0 +1,188 @@
+// Edge cases for message framing: tiny/huge bodies, interleaving, abort
+// mid-message, send-after-death, and a randomized framing property test.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "http/message.hpp"
+#include "http/message_stream.hpp"
+#include "http/session_pool.hpp"
+#include "net/network.hpp"
+#include "sim/event_loop.hpp"
+#include "transport/host.hpp"
+#include "util/rng.hpp"
+
+namespace speakup::http {
+namespace {
+
+struct Wire {
+  explicit Wire(const net::LinkSpec& spec = {Bandwidth::mbps(10.0), Duration::millis(1),
+                                             96'000})
+      : net(loop), pool(loop) {
+    a = &net.add_node<transport::Host>("a");
+    b = &net.add_node<transport::Host>("b");
+    net.connect(*a, *b, spec);
+    net.build_routes();
+  }
+
+  MessageStream& open(MessageStream::Callbacks server_cbs) {
+    b->listen(80, [this, server_cbs](transport::TcpConnection& c) {
+      MessageStream& s = pool.adopt(c);
+      s.set_callbacks(server_cbs);
+      server = &s;
+    });
+    transport::TcpConnection& c = a->connect(b->id(), 80);
+    client = &pool.adopt(c);
+    return *client;
+  }
+
+  void run_for(double sec) { loop.run_until(loop.now() + Duration::seconds(sec)); }
+
+  sim::EventLoop loop;
+  net::Network net;
+  SessionPool pool;
+  transport::Host* a = nullptr;
+  transport::Host* b = nullptr;
+  MessageStream* client = nullptr;
+  MessageStream* server = nullptr;
+};
+
+TEST(HttpEdge, HeaderOnlyMessagesBackToBack) {
+  Wire w;
+  std::vector<MessageType> got;
+  MessageStream::Callbacks cbs;
+  cbs.on_message = [&](const Message& m) { got.push_back(m.type); };
+  MessageStream& c = w.open(cbs);
+  for (int i = 0; i < 50; ++i) {
+    c.send(Message{.type = i % 2 == 0 ? MessageType::kRetry : MessageType::kBusy});
+  }
+  w.run_for(3.0);
+  ASSERT_EQ(got.size(), 50u);
+  EXPECT_EQ(got[0], MessageType::kRetry);
+  EXPECT_EQ(got[1], MessageType::kBusy);
+}
+
+TEST(HttpEdge, SmallMessageAfterHugeBodyPreservesFraming) {
+  Wire w;
+  std::vector<Message> got;
+  Bytes body_bytes = 0;
+  MessageStream::Callbacks cbs;
+  cbs.on_message = [&](const Message& m) { got.push_back(m); };
+  cbs.on_body_progress = [&](const Message&, Bytes n) { body_bytes += n; };
+  MessageStream& c = w.open(cbs);
+  c.send(Message{.type = MessageType::kPostData, .request_id = 1, .body = megabytes(2)});
+  c.send(Message{.type = MessageType::kRequest, .request_id = 2});
+  w.run_for(10.0);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].type, MessageType::kPostData);
+  EXPECT_EQ(got[1].type, MessageType::kRequest);
+  EXPECT_EQ(got[1].request_id, 2u);
+  EXPECT_EQ(body_bytes, megabytes(2));
+}
+
+TEST(HttpEdge, AbortMidBodyStopsDelivery) {
+  Wire w(net::LinkSpec{Bandwidth::mbps(1.0), Duration::millis(1), 96'000});
+  Bytes body_bytes = 0;
+  bool complete = false;
+  bool reset = false;
+  MessageStream::Callbacks cbs;
+  cbs.on_body_progress = [&](const Message&, Bytes n) { body_bytes += n; };
+  cbs.on_message = [&](const Message&) { complete = true; };
+  cbs.on_reset = [&] { reset = true; };
+  MessageStream& c = w.open(cbs);
+  c.send(Message{.type = MessageType::kPostData, .request_id = 1, .body = megabytes(1)});
+  w.run_for(1.0);  // ~125 KB delivered of 1 MB
+  c.abort();
+  w.run_for(5.0);
+  EXPECT_FALSE(complete);
+  EXPECT_TRUE(reset);
+  EXPECT_GT(body_bytes, kilobytes(50));
+  EXPECT_LT(body_bytes, kilobytes(400));
+}
+
+TEST(HttpEdge, SendAfterAbortIsSilentlyDropped) {
+  Wire w;
+  MessageStream& c = w.open({});
+  w.run_for(0.5);
+  c.abort();
+  c.send(Message{.type = MessageType::kRequest, .request_id = 1});  // no crash
+  w.run_for(0.5);
+  EXPECT_FALSE(c.alive());
+}
+
+TEST(HttpEdge, MetadataFieldsSurviveTransit) {
+  Wire w;
+  Message got;
+  MessageStream::Callbacks cbs;
+  cbs.on_message = [&](const Message& m) { got = m; };
+  MessageStream& c = w.open(cbs);
+  c.send(Message{.type = MessageType::kRequest,
+                 .request_id = 0xDEADBEEFull,
+                 .body = 123,
+                 .cls = ClientClass::kBad,
+                 .difficulty = 7,
+                 .aux = 4242});
+  w.run_for(1.0);
+  EXPECT_EQ(got.request_id, 0xDEADBEEFull);
+  EXPECT_EQ(got.body, 123);
+  EXPECT_EQ(got.cls, ClientClass::kBad);
+  EXPECT_EQ(got.difficulty, 7);
+  EXPECT_EQ(got.aux, 4242);
+}
+
+TEST(HttpEdge, RandomizedMessageMixPreservesOrderAndSizes) {
+  // Property test: any sequence of messages with random body sizes arrives
+  // complete, in order, with exact body-byte totals.
+  Wire w;
+  util::RngStream rng(77, "http-fuzz");
+  std::vector<Bytes> sent_bodies;
+  std::vector<Bytes> got_bodies;
+  Bytes progress_total = 0;
+  MessageStream::Callbacks cbs;
+  cbs.on_message = [&](const Message& m) { got_bodies.push_back(m.body); };
+  cbs.on_body_progress = [&](const Message&, Bytes n) { progress_total += n; };
+  MessageStream& c = w.open(cbs);
+  Bytes total = 0;
+  for (int i = 0; i < 60; ++i) {
+    const Bytes body = rng.chance(0.3) ? 0 : rng.uniform_int(1, 20'000);
+    sent_bodies.push_back(body);
+    total += body;
+    c.send(Message{.type = MessageType::kPostData,
+                   .request_id = static_cast<std::uint64_t>(i),
+                   .body = body});
+  }
+  w.run_for(10.0);
+  ASSERT_EQ(got_bodies.size(), sent_bodies.size());
+  EXPECT_EQ(got_bodies, sent_bodies);
+  EXPECT_EQ(progress_total, total);
+}
+
+TEST(HttpEdge, BidirectionalSimultaneousTraffic) {
+  Wire w;
+  int server_got = 0;
+  int client_got = 0;
+  MessageStream::Callbacks scbs;
+  scbs.on_message = [&](const Message&) { ++server_got; };
+  MessageStream& c = w.open(scbs);
+  MessageStream::Callbacks ccbs;
+  ccbs.on_message = [&](const Message&) { ++client_got; };
+  ccbs.on_established = [&] {
+    for (int i = 0; i < 10; ++i) {
+      c.send(Message{.type = MessageType::kRequest,
+                     .request_id = static_cast<std::uint64_t>(i)});
+    }
+  };
+  c.set_callbacks(std::move(ccbs));
+  w.run_for(0.5);
+  ASSERT_NE(w.server, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    w.server->send(Message{.type = MessageType::kPleasePay,
+                           .request_id = static_cast<std::uint64_t>(i)});
+  }
+  w.run_for(2.0);
+  EXPECT_EQ(server_got, 10);
+  EXPECT_EQ(client_got, 10);
+}
+
+}  // namespace
+}  // namespace speakup::http

@@ -1,0 +1,253 @@
+// Tests for the network substrate: queues, links, switches, routing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/event_loop.hpp"
+
+namespace speakup::net {
+namespace {
+
+/// A terminal node that records everything it receives.
+class SinkNode : public Node {
+ public:
+  SinkNode(Network& net, NodeId id, std::string name) : Node(net, id, std::move(name)) {}
+  void on_packet(Packet p) override {
+    arrival_times.push_back(network().loop().now());
+    packets.push_back(p);
+  }
+  std::vector<SimTime> arrival_times;
+  std::vector<Packet> packets;
+};
+
+Packet test_packet(NodeId src, NodeId dst, Bytes wire) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.wire_size = wire;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q(10'000);
+  for (int i = 0; i < 3; ++i) {
+    Packet p = test_packet(0, 1, 100);
+    p.seq = i;
+    ASSERT_TRUE(q.push(p));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto p = q.pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(DropTailQueue, DropsWhenFull) {
+  DropTailQueue q(250);
+  EXPECT_TRUE(q.push(test_packet(0, 1, 100)));
+  EXPECT_TRUE(q.push(test_packet(0, 1, 100)));
+  EXPECT_FALSE(q.push(test_packet(0, 1, 100)));  // 300 > 250
+  EXPECT_EQ(q.drops(), 1);
+  EXPECT_EQ(q.dropped_bytes(), 100);
+  EXPECT_EQ(q.size_bytes(), 200);
+}
+
+TEST(DropTailQueue, PopFreesCapacity) {
+  DropTailQueue q(200);
+  EXPECT_TRUE(q.push(test_packet(0, 1, 150)));
+  EXPECT_FALSE(q.push(test_packet(0, 1, 100)));
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.push(test_packet(0, 1, 100)));
+}
+
+TEST(DropTailQueue, CountsEnqueued) {
+  DropTailQueue q(1000);
+  q.push(test_packet(0, 1, 100));
+  q.push(test_packet(0, 1, 100));
+  EXPECT_EQ(q.enqueued(), 2);
+  EXPECT_EQ(q.size_packets(), 2u);
+}
+
+TEST(Link, DeliversAfterSerializationPlusPropagation) {
+  sim::EventLoop loop;
+  Network net(loop);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  // 1500 B at 2 Mbit/s = 6 ms serialization; +10 ms propagation = 16 ms.
+  net.connect(a, b, LinkSpec{Bandwidth::mbps(2.0), Duration::millis(10), 96'000});
+  net.build_routes();
+  net.forward(a.id(), test_packet(a.id(), b.id(), 1500));
+  loop.run();
+  ASSERT_EQ(b.packets.size(), 1u);
+  EXPECT_EQ(b.arrival_times[0].ns(), Duration::millis(16).ns());
+}
+
+TEST(Link, BackToBackPacketsSerializeSequentially) {
+  sim::EventLoop loop;
+  Network net(loop);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  net.connect(a, b, LinkSpec{Bandwidth::mbps(2.0), Duration::zero(), 96'000});
+  net.build_routes();
+  for (int i = 0; i < 3; ++i) net.forward(a.id(), test_packet(a.id(), b.id(), 1500));
+  loop.run();
+  ASSERT_EQ(b.packets.size(), 3u);
+  // 6 ms per packet: arrivals at 6, 12, 18 ms.
+  EXPECT_EQ(b.arrival_times[0].ns(), Duration::millis(6).ns());
+  EXPECT_EQ(b.arrival_times[1].ns(), Duration::millis(12).ns());
+  EXPECT_EQ(b.arrival_times[2].ns(), Duration::millis(18).ns());
+}
+
+TEST(Link, PropagationDoesNotBlockNextTransmission) {
+  sim::EventLoop loop;
+  Network net(loop);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  // Large propagation delay; serialization 6 ms.
+  net.connect(a, b, LinkSpec{Bandwidth::mbps(2.0), Duration::millis(100), 96'000});
+  net.build_routes();
+  net.forward(a.id(), test_packet(a.id(), b.id(), 1500));
+  net.forward(a.id(), test_packet(a.id(), b.id(), 1500));
+  loop.run();
+  ASSERT_EQ(b.packets.size(), 2u);
+  EXPECT_EQ(b.arrival_times[0].ns(), Duration::millis(106).ns());
+  EXPECT_EQ(b.arrival_times[1].ns(), Duration::millis(112).ns());  // pipelined
+}
+
+TEST(Link, OverflowDropsAreCounted) {
+  sim::EventLoop loop;
+  Network net(loop);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  // Queue fits exactly one additional 1500-byte packet.
+  Link& link = net.connect(a, b, LinkSpec{Bandwidth::mbps(2.0), Duration::zero(), 1500});
+  net.build_routes();
+  for (int i = 0; i < 4; ++i) net.forward(a.id(), test_packet(a.id(), b.id(), 1500));
+  loop.run();
+  EXPECT_EQ(b.packets.size(), 2u);  // 1 in flight + 1 queued
+  EXPECT_EQ(link.queue_from(a.id()).drops(), 2);
+}
+
+TEST(Link, DirectionsAreIndependent) {
+  sim::EventLoop loop;
+  Network net(loop);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  net.connect(a, b, LinkSpec{Bandwidth::mbps(2.0), Duration::zero(), 96'000});
+  net.build_routes();
+  net.forward(a.id(), test_packet(a.id(), b.id(), 1500));
+  net.forward(b.id(), test_packet(b.id(), a.id(), 1500));
+  loop.run();
+  ASSERT_EQ(a.packets.size(), 1u);
+  ASSERT_EQ(b.packets.size(), 1u);
+  // Both serialize concurrently (full duplex): both arrive at 6 ms.
+  EXPECT_EQ(a.arrival_times[0].ns(), b.arrival_times[0].ns());
+}
+
+TEST(Link, AsymmetricSpecs) {
+  sim::EventLoop loop;
+  Network net(loop);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  net.connect(a, b, LinkSpec{Bandwidth::mbps(2.0), Duration::zero(), 96'000},
+              LinkSpec{Bandwidth::mbps(1.0), Duration::zero(), 96'000});
+  net.build_routes();
+  net.forward(a.id(), test_packet(a.id(), b.id(), 1500));  // a->b at 2 Mbit/s
+  net.forward(b.id(), test_packet(b.id(), a.id(), 1500));  // b->a at 1 Mbit/s
+  loop.run();
+  EXPECT_EQ(b.arrival_times[0].ns(), Duration::millis(6).ns());
+  EXPECT_EQ(a.arrival_times[0].ns(), Duration::millis(12).ns());
+}
+
+TEST(Network, RoutesThroughSwitches) {
+  sim::EventLoop loop;
+  Network net(loop);
+  auto& a = net.add_node<SinkNode>("a");
+  Switch& s1 = net.add_switch("s1");
+  Switch& s2 = net.add_switch("s2");
+  auto& b = net.add_node<SinkNode>("b");
+  const LinkSpec fast{Bandwidth::gbps(1.0), Duration::millis(1), 1'000'000};
+  net.connect(a, s1, fast);
+  net.connect(s1, s2, fast);
+  net.connect(s2, b, fast);
+  net.build_routes();
+  net.forward(a.id(), test_packet(a.id(), b.id(), 1000));
+  loop.run();
+  ASSERT_EQ(b.packets.size(), 1u);
+  // Three hops, each 1 ms propagation + 8 us serialization.
+  EXPECT_EQ(b.arrival_times[0].ns(), 3 * (Duration::millis(1).ns() + 8000));
+}
+
+TEST(Network, ShortestPathChosen) {
+  sim::EventLoop loop;
+  Network net(loop);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  Switch& s1 = net.add_switch("s1");
+  Switch& s2 = net.add_switch("s2");
+  const LinkSpec fast{Bandwidth::gbps(1.0), Duration::millis(1), 1'000'000};
+  // Short path a-s1-b; long path a-s2-s1-b irrelevant.
+  net.connect(a, s1, fast);
+  net.connect(s1, b, fast);
+  net.connect(a, s2, fast);
+  net.connect(s2, s1, fast);
+  net.build_routes();
+  net.forward(a.id(), test_packet(a.id(), b.id(), 1000));
+  loop.run();
+  ASSERT_EQ(b.packets.size(), 1u);
+  EXPECT_EQ(b.arrival_times[0].ns(), 2 * (Duration::millis(1).ns() + 8000));
+}
+
+TEST(Network, UnroutableIsDroppedAndCounted) {
+  sim::EventLoop loop;
+  Network net(loop);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");  // never connected
+  net.build_routes();
+  net.forward(a.id(), test_packet(a.id(), b.id(), 1000));
+  loop.run();
+  EXPECT_TRUE(b.packets.empty());
+  EXPECT_EQ(net.unroutable_drops(), 1);
+}
+
+TEST(Network, LinkBetweenLookup) {
+  sim::EventLoop loop;
+  Network net(loop);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  auto& c = net.add_node<SinkNode>("c");
+  Link& ab = net.connect(a, b, LinkSpec{Bandwidth::mbps(1.0), Duration::zero(), 1000});
+  EXPECT_EQ(net.link_between(a.id(), b.id()), &ab);
+  EXPECT_EQ(net.link_between(b.id(), a.id()), &ab);
+  EXPECT_EQ(net.link_between(a.id(), c.id()), nullptr);
+}
+
+TEST(Network, NodeAccessors) {
+  sim::EventLoop loop;
+  Network net(loop);
+  auto& a = net.add_node<SinkNode>("alpha");
+  EXPECT_EQ(net.node_count(), 1u);
+  EXPECT_EQ(&net.node(a.id()), &a);
+  EXPECT_EQ(a.name(), "alpha");
+}
+
+TEST(Network, DeliveredBytesCounter) {
+  sim::EventLoop loop;
+  Network net(loop);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  Link& l = net.connect(a, b, LinkSpec{Bandwidth::mbps(2.0), Duration::zero(), 96'000});
+  net.build_routes();
+  net.forward(a.id(), test_packet(a.id(), b.id(), 1500));
+  net.forward(a.id(), test_packet(a.id(), b.id(), 500));
+  loop.run();
+  EXPECT_EQ(l.bytes_delivered_from(a.id()), 2000);
+  EXPECT_EQ(l.bytes_delivered_from(b.id()), 0);
+}
+
+}  // namespace
+}  // namespace speakup::net

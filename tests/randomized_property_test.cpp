@@ -1,0 +1,156 @@
+// Randomized property tests on the substrate invariants: the event loop
+// never runs time backwards under arbitrary schedules; routing on random
+// connected topologies delivers between all host pairs; payment accounting
+// conserves bytes end to end under random client mixes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/auction_thinner.hpp"
+#include "exp/experiment.hpp"
+#include "net/network.hpp"
+#include "sim/event_loop.hpp"
+#include "transport/host.hpp"
+#include "util/rng.hpp"
+
+namespace speakup {
+namespace {
+
+TEST(RandomizedProperty, EventLoopTimeIsMonotoneUnderRandomSchedules) {
+  util::RngStream rng(101, "loop-fuzz");
+  sim::EventLoop loop;
+  SimTime last_seen;
+  int fired = 0;
+  std::vector<sim::EventId> cancellable;
+  // Seed events that randomly schedule more events and randomly cancel.
+  std::function<void()> chaos = [&] {
+    EXPECT_GE(loop.now(), last_seen);  // time never goes backwards
+    last_seen = loop.now();
+    ++fired;
+    if (fired > 5000) return;
+    const int n = static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < n; ++i) {
+      sim::EventId id =
+          loop.schedule(Duration::nanos(rng.uniform_int(0, 5'000'000)), chaos);
+      if (rng.chance(0.2)) cancellable.push_back(id);
+    }
+    if (!cancellable.empty() && rng.chance(0.3)) {
+      loop.cancel(cancellable.back());
+      cancellable.pop_back();
+    }
+  };
+  for (int i = 0; i < 20; ++i) {
+    loop.schedule(Duration::nanos(rng.uniform_int(0, 1'000'000)), chaos);
+  }
+  loop.run();
+  EXPECT_GT(fired, 20);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(RandomizedProperty, RandomConnectedTopologiesRouteAllPairs) {
+  util::RngStream rng(102, "topo-fuzz");
+  for (int trial = 0; trial < 5; ++trial) {
+    sim::EventLoop loop;
+    net::Network net(loop);
+    const int hosts = 4;
+    const int switches = 3 + static_cast<int>(rng.uniform_int(0, 3));
+    std::vector<net::Switch*> sw;
+    for (int i = 0; i < switches; ++i) {
+      sw.push_back(&net.add_switch("sw" + std::to_string(i)));
+      if (i > 0) {
+        // Spanning chain keeps the graph connected...
+        net.connect(*sw[static_cast<std::size_t>(i)], *sw[static_cast<std::size_t>(i - 1)],
+                    net::LinkSpec{Bandwidth::mbps(100.0), Duration::micros(100), 500'000});
+      }
+    }
+    // ...plus random extra links.
+    for (int e = 0; e < 2; ++e) {
+      const auto a = static_cast<std::size_t>(rng.uniform_int(0, switches - 1));
+      const auto b = static_cast<std::size_t>(rng.uniform_int(0, switches - 1));
+      if (a != b && net.link_between(sw[a]->id(), sw[b]->id()) == nullptr) {
+        net.connect(*sw[a], *sw[b],
+                    net::LinkSpec{Bandwidth::mbps(100.0), Duration::micros(100), 500'000});
+      }
+    }
+    std::vector<transport::Host*> hs;
+    for (int i = 0; i < hosts; ++i) {
+      auto& h = net.add_node<transport::Host>("h" + std::to_string(i));
+      const auto at = static_cast<std::size_t>(rng.uniform_int(0, switches - 1));
+      net.connect(h, *sw[at],
+                  net::LinkSpec{Bandwidth::mbps(10.0), Duration::micros(500), 96'000});
+      hs.push_back(&h);
+    }
+    net.build_routes();
+    // Every ordered host pair completes a small transfer.
+    int completed = 0;
+    for (auto* server : hs) {
+      server->listen(80, [&](transport::TcpConnection& c) {
+        transport::TcpConnection::Callbacks cbs;
+        cbs.on_data = [&completed](Bytes n) {
+          if (n > 0) ++completed;
+        };
+        c.set_callbacks(std::move(cbs));
+      });
+    }
+    int expected = 0;
+    for (auto* a : hs) {
+      for (auto* b : hs) {
+        if (a == b) continue;
+        a->connect(b->id(), 80).write(500);
+        ++expected;
+      }
+    }
+    loop.run_until(SimTime::zero() + Duration::seconds(10.0));
+    EXPECT_EQ(completed, expected) << "trial " << trial;
+  }
+}
+
+TEST(RandomizedProperty, ThinnerByteAccountingConserves) {
+  // Across random mixes, the thinner's books must balance: every credited
+  // byte is either attributed to a served request's price, wasted in an
+  // expired channel, or still outstanding with a live contender.
+  util::RngStream rng(103, "mix-fuzz");
+  for (int trial = 0; trial < 3; ++trial) {
+    const int good = 2 + static_cast<int>(rng.uniform_int(0, 4));
+    const int bad = 2 + static_cast<int>(rng.uniform_int(0, 4));
+    const double c = 5.0 + 10.0 * rng.uniform();
+    exp::ScenarioConfig cfg = exp::lan_scenario(good, bad, c, exp::DefenseMode::kAuction,
+                                                200 + static_cast<std::uint64_t>(trial));
+    cfg.duration = Duration::seconds(15.0);
+    exp::Experiment e(cfg);
+    const exp::ExperimentResult r = e.run();
+    const core::ThinnerStats& t = r.thinner;
+    const double priced = t.price_good.sum() + t.price_bad.sum();
+    const auto wasted = static_cast<double>(t.payment_bytes_wasted);
+    const auto total = static_cast<double>(t.payment_bytes_total);
+    // priced + wasted <= total credited (the remainder is held by live
+    // contenders at the end of the run).
+    EXPECT_LE(priced + wasted, total * 1.0001) << "trial " << trial;
+    // And the books roughly balance: live contenders are bounded, so most
+    // bytes are accounted for.
+    EXPECT_GT(priced + wasted, total * 0.3) << "trial " << trial;
+    // The time series agrees with the scalar total.
+    EXPECT_NEAR(t.payment_rate.total(), total, 1.0) << "trial " << trial;
+  }
+}
+
+TEST(RandomizedProperty, ServedCountsMatchBetweenThinnerAndClients) {
+  // Thinner-side and client-side served counts agree modulo responses in
+  // flight at the end of the run.
+  util::RngStream rng(104, "count-fuzz");
+  for (int trial = 0; trial < 3; ++trial) {
+    exp::ScenarioConfig cfg =
+        exp::lan_scenario(3 + static_cast<int>(rng.uniform_int(0, 3)),
+                          3 + static_cast<int>(rng.uniform_int(0, 3)), 20.0,
+                          exp::DefenseMode::kAuction, 300 + static_cast<std::uint64_t>(trial));
+    cfg.duration = Duration::seconds(15.0);
+    const exp::ExperimentResult r = exp::run_scenario(cfg);
+    std::int64_t client_served = 0;
+    for (const auto& g : r.groups) client_served += g.totals.served;
+    EXPECT_LE(client_served, r.served_total);
+    EXPECT_GE(client_served, r.served_total - 5);
+  }
+}
+
+}  // namespace
+}  // namespace speakup

@@ -1,0 +1,223 @@
+// Tests for the emulated servers: capacity/service-time law, completion
+// callbacks, class accounting, and the §5 SUSPEND/RESUME/ABORT interface.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "server/emulated_server.hpp"
+#include "server/interruptible_server.hpp"
+#include "sim/event_loop.hpp"
+#include "util/rng.hpp"
+
+namespace speakup::server {
+namespace {
+
+using http::ClientClass;
+
+util::RngStream rng() { return util::RngStream(1, "server-test"); }
+
+TEST(EmulatedServer, RejectsNonPositiveCapacity) {
+  sim::EventLoop loop;
+  EXPECT_THROW(EmulatedServer(loop, 0.0, rng()), std::invalid_argument);
+}
+
+TEST(EmulatedServer, BusyWhileServing) {
+  sim::EventLoop loop;
+  EmulatedServer s(loop, 10.0, rng());
+  EXPECT_FALSE(s.busy());
+  s.submit(ServiceRequest{1, ClientClass::kGood, 1});
+  EXPECT_TRUE(s.busy());
+  loop.run();
+  EXPECT_FALSE(s.busy());
+  EXPECT_EQ(s.served(), 1);
+}
+
+TEST(EmulatedServer, CompletionCallbackCarriesRequest) {
+  sim::EventLoop loop;
+  EmulatedServer s(loop, 10.0, rng());
+  std::vector<std::uint64_t> done;
+  s.set_on_complete([&](const ServiceRequest& r) { done.push_back(r.request_id); });
+  s.submit(ServiceRequest{7, ClientClass::kBad, 1});
+  loop.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 7u);
+}
+
+TEST(EmulatedServer, ServiceTimeWithinPaperBounds) {
+  // §6: service time uniform in [0.9/c, 1.1/c].
+  sim::EventLoop loop;
+  EmulatedServer s(loop, 100.0, rng());
+  SimTime start;
+  std::vector<double> times;
+  s.set_on_complete([&](const ServiceRequest&) {
+    times.push_back((loop.now() - start).sec());
+    if (times.size() < 200) {
+      start = loop.now();
+      s.submit(ServiceRequest{times.size(), ClientClass::kGood, 1});
+    }
+  });
+  start = loop.now();
+  s.submit(ServiceRequest{0, ClientClass::kGood, 1});
+  loop.run();
+  ASSERT_EQ(times.size(), 200u);
+  double sum = 0;
+  for (const double t : times) {
+    EXPECT_GE(t, 0.9 / 100.0 - 1e-9);
+    EXPECT_LE(t, 1.1 / 100.0 + 1e-9);
+    sum += t;
+  }
+  EXPECT_NEAR(sum / 200.0, 1.0 / 100.0, 0.0005);  // mean 1/c
+}
+
+TEST(EmulatedServer, ThroughputMatchesCapacity) {
+  sim::EventLoop loop;
+  EmulatedServer s(loop, 50.0, rng());
+  int completed = 0;
+  s.set_on_complete([&](const ServiceRequest&) {
+    ++completed;
+    s.submit(ServiceRequest{static_cast<std::uint64_t>(completed), ClientClass::kGood, 1});
+  });
+  s.submit(ServiceRequest{0, ClientClass::kGood, 1});
+  loop.run_until(SimTime::zero() + Duration::seconds(10.0));
+  // Back-to-back service at c=50 for 10 s: ~500 completions.
+  EXPECT_NEAR(completed, 500, 25);
+}
+
+TEST(EmulatedServer, DifficultyScalesServiceTime) {
+  sim::EventLoop loop;
+  EmulatedServer s(loop, 10.0, rng());
+  SimTime start = loop.now();
+  double easy = 0;
+  double hard = 0;
+  s.set_on_complete([&](const ServiceRequest& r) {
+    if (r.difficulty == 1) {
+      easy = (loop.now() - start).sec();
+      start = loop.now();
+      s.submit(ServiceRequest{2, ClientClass::kGood, 10});
+    } else {
+      hard = (loop.now() - start).sec();
+    }
+  });
+  s.submit(ServiceRequest{1, ClientClass::kGood, 1});
+  loop.run();
+  EXPECT_GT(hard, 5 * easy);  // ~10x with U[0.9,1.1] jitter
+}
+
+TEST(EmulatedServer, BusyTimeAccountsByClass) {
+  sim::EventLoop loop;
+  EmulatedServer s(loop, 10.0, rng());
+  s.set_on_complete([&](const ServiceRequest& r) {
+    if (r.request_id == 1) s.submit(ServiceRequest{2, ClientClass::kBad, 1});
+  });
+  s.submit(ServiceRequest{1, ClientClass::kGood, 1});
+  loop.run();
+  EXPECT_GT(s.good_busy_time(), Duration::zero());
+  EXPECT_GT(s.bad_busy_time(), Duration::zero());
+  EXPECT_EQ((s.good_busy_time() + s.bad_busy_time()).ns(), s.busy_time().ns());
+}
+
+TEST(InterruptibleServer, CompletesLikeEmulatedServer) {
+  sim::EventLoop loop;
+  InterruptibleServer s(loop, 10.0, rng());
+  std::uint64_t done = 0;
+  s.set_on_complete([&](const ServiceRequest& r) { done = r.request_id; });
+  s.submit(ServiceRequest{3, ClientClass::kGood, 1});
+  EXPECT_TRUE(s.busy());
+  loop.run();
+  EXPECT_EQ(done, 3u);
+  EXPECT_FALSE(s.busy());
+  EXPECT_EQ(s.completed(), 1);
+}
+
+TEST(InterruptibleServer, SuspendPreservesProgress) {
+  sim::EventLoop loop;
+  InterruptibleServer s(loop, 10.0, rng());
+  bool done = false;
+  s.set_on_complete([&](const ServiceRequest&) { done = true; });
+  s.submit(ServiceRequest{1, ClientClass::kGood, 10});  // ~1 s of work
+  // Run 0.5 s, suspend, idle 5 s, resume: total server time should be ~1 s.
+  loop.run_until(SimTime::zero() + Duration::seconds(0.5));
+  s.suspend();
+  EXPECT_FALSE(s.busy());
+  EXPECT_TRUE(s.is_suspended(1));
+  EXPECT_FALSE(done);
+  loop.run_until(SimTime::zero() + Duration::seconds(5.5));
+  EXPECT_FALSE(done);  // suspended work does not progress
+  s.resume(1);
+  EXPECT_TRUE(s.busy());
+  loop.run_until(SimTime::zero() + Duration::seconds(7.0));
+  EXPECT_TRUE(done);
+  // Work conservation: ~1 s of service time total (0.9..1.1 * 10 quanta).
+  EXPECT_NEAR(s.good_busy_time().sec(), 1.0, 0.11);
+}
+
+TEST(InterruptibleServer, AbortDiscardsSuspendedWork) {
+  sim::EventLoop loop;
+  InterruptibleServer s(loop, 10.0, rng());
+  bool done = false;
+  s.set_on_complete([&](const ServiceRequest&) { done = true; });
+  s.submit(ServiceRequest{1, ClientClass::kBad, 10});
+  loop.run_until(SimTime::zero() + Duration::seconds(0.5));
+  s.suspend();
+  s.abort_suspended(1);
+  EXPECT_FALSE(s.is_suspended(1));
+  EXPECT_EQ(s.suspended_count(), 0u);
+  loop.run_until(SimTime::zero() + Duration::seconds(5.0));
+  EXPECT_FALSE(done);
+  // The half-second it did run is still charged to the bad class.
+  EXPECT_NEAR(s.bad_busy_time().sec(), 0.5, 0.01);
+}
+
+TEST(InterruptibleServer, MultipleSuspendedRequests) {
+  sim::EventLoop loop;
+  InterruptibleServer s(loop, 10.0, rng());
+  int completions = 0;
+  s.set_on_complete([&](const ServiceRequest&) { ++completions; });
+  s.submit(ServiceRequest{1, ClientClass::kGood, 20});
+  loop.run_until(SimTime::zero() + Duration::seconds(0.2));
+  s.suspend();
+  s.submit(ServiceRequest{2, ClientClass::kGood, 20});
+  loop.run_until(SimTime::zero() + Duration::seconds(0.4));
+  s.suspend();
+  EXPECT_EQ(s.suspended_count(), 2u);
+  s.resume(1);
+  loop.run_until(SimTime::zero() + Duration::seconds(30.0));
+  EXPECT_EQ(completions, 1);
+  s.resume(2);
+  loop.run_until(SimTime::zero() + Duration::seconds(60.0));
+  EXPECT_EQ(completions, 2);
+}
+
+TEST(InterruptibleServer, SuspendResumeRoundTripKeepsTotalWork) {
+  // Repeatedly preempting a job must not change its total service demand.
+  sim::EventLoop loop;
+  InterruptibleServer s(loop, 10.0, rng());
+  bool done = false;
+  s.set_on_complete([&](const ServiceRequest&) { done = true; });
+  s.submit(ServiceRequest{1, ClientClass::kGood, 10});  // ~1 s
+  double t = 0.0;
+  for (int i = 0; i < 8 && !done; ++i) {
+    t += 0.1;
+    loop.run_until(SimTime::zero() + Duration::seconds(t));
+    if (done) break;
+    s.suspend();
+    t += 0.05;  // idle gap
+    loop.run_until(SimTime::zero() + Duration::seconds(t));
+    s.resume(1);
+  }
+  loop.run_until(SimTime::zero() + Duration::seconds(20.0));
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(s.good_busy_time().sec(), 1.0, 0.11);
+}
+
+TEST(InterruptibleServer, ActiveRequestAccessor) {
+  sim::EventLoop loop;
+  InterruptibleServer s(loop, 10.0, rng());
+  EXPECT_FALSE(s.active_request().has_value());
+  s.submit(ServiceRequest{42, ClientClass::kGood, 5});
+  ASSERT_TRUE(s.active_request().has_value());
+  EXPECT_EQ(*s.active_request(), 42u);
+}
+
+}  // namespace
+}  // namespace speakup::server

@@ -1,0 +1,182 @@
+// Tests for the paper's closed-form results (§2.1, §3.1, §3.3, §3.4),
+// including a discrete-event validation of Theorem 3.1 against adversaries
+// that time their bytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/theory.hpp"
+#include "util/rng.hpp"
+
+namespace speakup::core::theory {
+namespace {
+
+TEST(Theory, IdealAllocationMatchesSection31) {
+  // G = B -> half the server.
+  EXPECT_DOUBLE_EQ(ideal_good_allocation(50.0, 50.0), 0.5);
+  // G = B/9 -> a tenth.
+  EXPECT_DOUBLE_EQ(ideal_good_allocation(10.0, 90.0), 0.1);
+  EXPECT_DOUBLE_EQ(ideal_good_allocation(0.0, 90.0), 0.0);
+  EXPECT_DOUBLE_EQ(ideal_good_allocation(0.0, 0.0), 0.0);
+}
+
+TEST(Theory, IdealServiceRateCapsAtDemand) {
+  // Plenty of capacity: the good clients get all of g.
+  EXPECT_DOUBLE_EQ(ideal_good_service_rate(50, 50, 50, 200), 50.0);
+  // Overload: they get their bandwidth share of c.
+  EXPECT_DOUBLE_EQ(ideal_good_service_rate(50, 50, 50, 50), 25.0);
+}
+
+TEST(Theory, ProvisioningRequirement) {
+  // §3.1: B = G -> c_id = 2g.
+  EXPECT_DOUBLE_EQ(ideal_provisioning(50.0, 50.0, 50.0), 100.0);
+  // Spare capacity 90% example from §2.1: B/G = 9 -> c_id = 10g.
+  EXPECT_DOUBLE_EQ(ideal_provisioning(10.0, 10.0, 90.0), 100.0);
+}
+
+TEST(Theory, ProvisioningSatisfiesGoalExactly) {
+  // At c = c_id the ideal service rate equals the good demand g.
+  const double g = 37.0;
+  const double G = 120.0;
+  const double B = 300.0;
+  const double cid = ideal_provisioning(g, G, B);
+  EXPECT_NEAR(ideal_good_service_rate(g, G, B, cid), g, 1e-9);
+  // Just below c_id, demand is not met.
+  EXPECT_LT(ideal_good_service_rate(g, G, B, cid * 0.99), g);
+}
+
+TEST(Theory, AveragePrice) {
+  // §3.3: (G+B)/c bytes per request.
+  EXPECT_DOUBLE_EQ(average_price_bytes(6.25e6, 6.25e6, 100.0), 125'000.0);
+  EXPECT_DOUBLE_EQ(average_price_bytes(6.25e6, 6.25e6, 50.0), 250'000.0);
+}
+
+TEST(Theory, Theorem31Bounds) {
+  // eps/(2-eps) >= eps/2 always, equality only at eps in {0, 1}.
+  for (const double eps : {0.01, 0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_GE(theorem31_service_fraction(eps), theorem31_service_fraction_loose(eps));
+  }
+  EXPECT_DOUBLE_EQ(theorem31_service_fraction(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(theorem31_service_fraction_loose(0.5), 0.25);
+  // Jitter version degrades gracefully: delta=0 recovers eps/2, delta=0.5
+  // voids the guarantee.
+  EXPECT_DOUBLE_EQ(theorem31_service_fraction_jitter(0.4, 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(theorem31_service_fraction_jitter(0.4, 0.5), 0.0);
+}
+
+TEST(Theory, NoDefenseAllocation) {
+  EXPECT_NEAR(no_defense_good_allocation(50.0, 1000.0), 0.0476, 0.0001);
+}
+
+// ---------------------------------------------------------------------------
+// Discrete validation of Theorem 3.1: a victim client delivers an eps
+// fraction of the total bandwidth; the adversary times its bytes according
+// to various strategies; service is perfectly regular (one auction per
+// tick). The victim must win at least eps/(2-eps) of the auctions minus
+// discretization slack.
+// ---------------------------------------------------------------------------
+
+/// One auction per tick; bids accumulate; winner's bid resets to zero.
+/// Returns the fraction of auctions the victim won.
+/// `adversary` decides, each tick, how to distribute its per-tick budget
+/// across its (unbounded) set of virtual clients.
+template <typename AdversaryFn>
+double run_auction_game(double eps, int ticks, AdversaryFn adversary) {
+  // Victim deposits eps per tick; adversary deposits (1-eps) per tick in
+  // total, split however it likes.
+  double victim_bid = 0.0;
+  std::map<int, double> adversary_bids;
+  int victim_wins = 0;
+  for (int t = 0; t < ticks; ++t) {
+    victim_bid += eps;
+    adversary(t, adversary_bids, victim_bid);
+    // Auction: victim vs best adversary bid. Adversary wins ties (worst
+    // case for the victim).
+    double best = 0.0;
+    int best_id = -1;
+    for (const auto& [id, bid] : adversary_bids) {
+      if (bid > best) {
+        best = bid;
+        best_id = id;
+      }
+    }
+    if (victim_bid > best) {
+      ++victim_wins;
+      victim_bid = 0.0;
+    } else if (best_id >= 0) {
+      adversary_bids[best_id] = 0.0;
+    }
+  }
+  return static_cast<double>(victim_wins) / ticks;
+}
+
+struct Theorem31Case {
+  const char* name;
+  double eps;
+};
+
+class Theorem31Test : public ::testing::TestWithParam<Theorem31Case> {};
+
+TEST_P(Theorem31Test, SingleSaverAdversary) {
+  // Adversary concentrates everything in one bid.
+  const double eps = GetParam().eps;
+  const double won = run_auction_game(eps, 20000, [&](int, std::map<int, double>& bids, double) {
+    bids[0] += 1.0 - eps;
+  });
+  EXPECT_GE(won, theorem31_service_fraction(eps) * 0.95);
+}
+
+TEST_P(Theorem31Test, ManyEqualAdversaries) {
+  // Adversary splits across 10 equal clients.
+  const double eps = GetParam().eps;
+  const double won = run_auction_game(eps, 20000, [&](int, std::map<int, double>& bids, double) {
+    for (int i = 0; i < 10; ++i) bids[i] += (1.0 - eps) / 10.0;
+  });
+  EXPECT_GE(won, theorem31_service_fraction(eps) * 0.95);
+}
+
+TEST_P(Theorem31Test, ReactiveOutbidder) {
+  // The proof's worst case: the adversary watches the victim's bid and
+  // spends just enough to beat it, banking the rest.
+  const double eps = GetParam().eps;
+  const double won =
+      run_auction_game(eps, 20000, [&](int, std::map<int, double>& bids, double victim) {
+        double& active = bids[0];
+        double& bank = bids[1];
+        bank += 1.0 - eps;
+        // Move exactly enough from the bank to outbid the victim.
+        const double need = victim - active;
+        if (need > 0 && bank >= need) {
+          active += need;
+          bank -= need;
+        }
+      });
+  // This strategy approaches the eps/2-ish floor; it must not go below it.
+  EXPECT_GE(won, theorem31_service_fraction_loose(eps) * 0.9);
+}
+
+TEST_P(Theorem31Test, RandomizedAdversary) {
+  const double eps = GetParam().eps;
+  util::RngStream rng(99, "thm31");
+  const double won =
+      run_auction_game(eps, 20000, [&](int, std::map<int, double>& bids, double) {
+        const int k = static_cast<int>(rng.uniform_int(0, 4));
+        bids[k] += 1.0 - eps;
+      });
+  EXPECT_GE(won, theorem31_service_fraction(eps) * 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Theorem31Test,
+                         ::testing::Values(Theorem31Case{"eps05", 0.05},
+                                           Theorem31Case{"eps10", 0.10},
+                                           Theorem31Case{"eps25", 0.25},
+                                           Theorem31Case{"eps50", 0.50}),
+                         [](const ::testing::TestParamInfo<Theorem31Case>& i) {
+                           return i.param.name;
+                         });
+
+}  // namespace
+}  // namespace speakup::core::theory

@@ -1,0 +1,69 @@
+// Tests for the bucketed time series (§7.1's 5-second-interval reporting).
+#include <gtest/gtest.h>
+
+#include "stats/time_series.hpp"
+
+namespace speakup::stats {
+namespace {
+
+TEST(TimeSeries, RejectsNonPositiveBucket) {
+  EXPECT_THROW(TimeSeries{Duration::zero()}, std::invalid_argument);
+}
+
+TEST(TimeSeries, AccumulatesIntoCorrectBuckets) {
+  TimeSeries ts(Duration::seconds(5.0));
+  ts.add(SimTime::zero() + Duration::seconds(1.0), 10.0);
+  ts.add(SimTime::zero() + Duration::seconds(4.9), 5.0);
+  ts.add(SimTime::zero() + Duration::seconds(5.0), 7.0);  // next bucket
+  EXPECT_EQ(ts.bucket_count(), 2u);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(0), 15.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(1), 7.0);
+  EXPECT_DOUBLE_EQ(ts.total(), 22.0);
+}
+
+TEST(TimeSeries, GapsReadAsZero) {
+  TimeSeries ts(Duration::seconds(1.0));
+  ts.add(SimTime::zero() + Duration::seconds(0.5), 1.0);
+  ts.add(SimTime::zero() + Duration::seconds(3.5), 1.0);
+  EXPECT_EQ(ts.bucket_count(), 4u);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(1), 0.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(2), 0.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(9), 0.0);  // beyond the end
+}
+
+TEST(TimeSeries, RatesDivideByWidth) {
+  TimeSeries ts(Duration::seconds(5.0));
+  ts.add(SimTime::zero() + Duration::seconds(2.0), 100.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_rate(0), 20.0);  // 100 over 5 s
+}
+
+TEST(TimeSeries, RateSummarySkipsWarmupAndPartialTail) {
+  TimeSeries ts(Duration::seconds(1.0));
+  // Buckets: 0 (warmup, huge), 1..4 (steady 10/s), 5 (partial).
+  ts.add(SimTime::zero() + Duration::seconds(0.5), 1000.0);
+  for (int b = 1; b <= 4; ++b) {
+    ts.add(SimTime::zero() + Duration::seconds(b + 0.5), 10.0);
+  }
+  ts.add(SimTime::zero() + Duration::seconds(5.1), 2.0);
+  const OnlineStats s = ts.rate_summary(/*skip_leading=*/1);
+  EXPECT_EQ(s.count(), 4);  // buckets 1..4; bucket 5 (tail) excluded
+  EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(TimeSeries, RateSummaryOfShortSeriesIsEmpty) {
+  TimeSeries ts(Duration::seconds(1.0));
+  ts.add(SimTime::zero(), 5.0);
+  EXPECT_EQ(ts.rate_summary().count(), 0);
+}
+
+TEST(TimeSeries, OutOfOrderTimestampsAccepted) {
+  TimeSeries ts(Duration::seconds(1.0));
+  ts.add(SimTime::zero() + Duration::seconds(3.0), 1.0);
+  ts.add(SimTime::zero() + Duration::seconds(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(1), 2.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(3), 1.0);
+}
+
+}  // namespace
+}  // namespace speakup::stats

@@ -1,0 +1,155 @@
+// Tests for util: strong units, RNG streams, assertions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace speakup {
+namespace {
+
+TEST(Duration, FactoriesAgree) {
+  EXPECT_EQ(Duration::seconds(1.0).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::millis(1).ns(), 1'000'000);
+  EXPECT_EQ(Duration::micros(1).ns(), 1'000);
+  EXPECT_EQ(Duration::nanos(1).ns(), 1);
+  EXPECT_EQ(Duration::zero().ns(), 0);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(500);
+  const Duration b = Duration::millis(250);
+  EXPECT_EQ((a + b).ns(), Duration::millis(750).ns());
+  EXPECT_EQ((a - b).ns(), Duration::millis(250).ns());
+  EXPECT_EQ((a * 3).ns(), Duration::millis(1500).ns());
+  EXPECT_EQ((a / 2).ns(), Duration::millis(250).ns());
+  EXPECT_LT(b, a);
+  EXPECT_DOUBLE_EQ(a.sec(), 0.5);
+  EXPECT_DOUBLE_EQ(a.ms(), 500.0);
+}
+
+TEST(Duration, NegativeSecondsRoundCorrectly) {
+  EXPECT_EQ(Duration::seconds(-1.5).ns(), -1'500'000'000);
+}
+
+TEST(Duration, InfiniteIsHuge) {
+  EXPECT_GT(Duration::infinite(), Duration::seconds(1e9));
+}
+
+TEST(SimTime, Ordering) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + Duration::seconds(1.0);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ((t1 - t0).ns(), Duration::seconds(1.0).ns());
+  EXPECT_DOUBLE_EQ(t1.sec(), 1.0);
+}
+
+TEST(Bandwidth, Factories) {
+  EXPECT_EQ(Bandwidth::mbps(2.0).bits_per_sec(), 2'000'000);
+  EXPECT_EQ(Bandwidth::kbps(100).bits_per_sec(), 100'000);
+  EXPECT_EQ(Bandwidth::gbps(1.5).bits_per_sec(), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(Bandwidth::mbps(2.0).bytes_per_sec(), 250'000.0);
+}
+
+TEST(Bandwidth, TransmissionTime) {
+  // 1500 bytes at 2 Mbit/s = 6 ms.
+  EXPECT_EQ(Bandwidth::mbps(2.0).transmission_time(1500).ns(), 6'000'000);
+  // 40 bytes at 1 Gbit/s = 320 ns.
+  EXPECT_EQ(Bandwidth::gbps(1.0).transmission_time(40).ns(), 320);
+}
+
+TEST(Bandwidth, TransmissionTimeScalesLinearly) {
+  const Bandwidth bw = Bandwidth::mbps(10.0);
+  const auto t1 = bw.transmission_time(1000).ns();
+  const auto t2 = bw.transmission_time(2000).ns();
+  EXPECT_EQ(t2, 2 * t1);
+}
+
+TEST(Bytes, Helpers) {
+  EXPECT_EQ(kilobytes(2), 2000);
+  EXPECT_EQ(megabytes(1), 1'000'000);
+}
+
+TEST(Require, ThrowsOnViolation) {
+  EXPECT_NO_THROW(util::require(true, "fine"));
+  EXPECT_THROW(util::require(false, "nope"), std::invalid_argument);
+}
+
+TEST(RngStream, Deterministic) {
+  util::RngStream a(42, "stream");
+  util::RngStream b(42, "stream");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngStream, DistinctStreamsDiffer) {
+  util::RngStream a(42, "alpha");
+  util::RngStream b(42, "beta");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngStream, DistinctSeedsDiffer) {
+  util::RngStream a(1, "s");
+  util::RngStream b(2, "s");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngStream, UniformRange) {
+  util::RngStream r(7, "u");
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(3.0, 5.0);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngStream, UniformIntInclusive) {
+  util::RngStream r(7, "i");
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all faces show up in 1000 rolls
+}
+
+TEST(RngStream, ExponentialMean) {
+  util::RngStream r(7, "e");
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);  // mean 1/rate
+}
+
+TEST(RngStream, ChanceProbability) {
+  util::RngStream r(7, "c");
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Fnv1a, StableKnownValues) {
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(util::fnv1a(""), 1469598103934665603ull);
+  EXPECT_NE(util::fnv1a("a"), util::fnv1a("b"));
+}
+
+}  // namespace
+}  // namespace speakup
