@@ -6,9 +6,10 @@
 // and evaluates only §3.3; this harness checks that §3.2 earns its keep as
 // an alternative, and shows the emergent price in each currency unit.
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -19,14 +20,25 @@ int main() {
       "proportion to bandwidth (ideal 0.5 here); prices emerge in retries "
       "per request (§3.2) and bytes per request (§3.3)");
 
-  stats::Table table({"capacity", "mechanism", "alloc(good)", "price-good", "price-bad",
-                      "price-unit"});
-  for (const double c : {50.0, 100.0, 200.0}) {
-    for (const exp::DefenseMode mode :
-         {exp::DefenseMode::kRetry, exp::DefenseMode::kAuction}) {
+  const double kCapacities[] = {50.0, 100.0, 200.0};
+  const exp::DefenseMode kModes[] = {exp::DefenseMode::kRetry, exp::DefenseMode::kAuction};
+
+  exp::Runner runner;
+  for (const double c : kCapacities) {
+    for (const exp::DefenseMode mode : kModes) {
       exp::ScenarioConfig cfg = exp::lan_scenario(25, 25, c, mode, /*seed=*/31);
       cfg.duration = bench::experiment_duration();
-      const exp::ExperimentResult r = exp::run_scenario(cfg);
+      runner.add(cfg, std::string(to_string(mode)) + "/c" + std::to_string(int(c)));
+    }
+  }
+  bench::run_all(runner);
+
+  stats::Table table({"capacity", "mechanism", "alloc(good)", "price-good", "price-bad",
+                      "price-unit"});
+  for (const double c : kCapacities) {
+    for (const exp::DefenseMode mode : kModes) {
+      const exp::ExperimentResult& r =
+          runner.result(std::string(to_string(mode)) + "/c" + std::to_string(int(c)));
       const bool retry = mode == exp::DefenseMode::kRetry;
       table.row()
           .add(static_cast<std::int64_t>(c))
@@ -37,7 +49,6 @@ int main() {
           .add(retry ? r.thinner.retries_bad.mean() : r.thinner.price_bad.mean() / 1000.0,
                1)
           .add(retry ? "retries/req" : "KB/req");
-      std::fflush(stdout);
     }
   }
   table.print(std::cout);

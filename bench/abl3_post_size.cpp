@@ -7,10 +7,34 @@
 // and shrink the POST: the long-RTT group's share should degrade as the
 // POST stops dwarfing its BDP.
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
+
+namespace {
+
+speakup::exp::ScenarioConfig scenario(std::int64_t post_kb) {
+  using namespace speakup;
+  exp::ScenarioConfig cfg;
+  cfg.mode = exp::DefenseMode::kAuction;
+  cfg.capacity_rps = 10.0;
+  cfg.seed = 33;
+  cfg.duration = bench::experiment_duration();
+  for (const bool long_rtt : {false, true}) {
+    exp::ClientGroupSpec g;
+    g.label = long_rtt ? "long-rtt" : "lan-rtt";
+    g.count = 10;
+    g.workload = client::good_client_params();
+    g.workload.post_size = kilobytes(post_kb);
+    g.access_delay = long_rtt ? Duration::millis(150) : Duration::micros(500);
+    cfg.groups.push_back(g);
+  }
+  return cfg;
+}
+
+}  // namespace
 
 int main() {
   using namespace speakup;
@@ -20,30 +44,22 @@ int main() {
       "proportional share; small POSTs multiply the 2-RTT gaps and slow-start "
       "ramps, taxing long-RTT clients");
 
+  const std::int64_t kPostKb[] = {25, 100, 1000};
+  exp::Runner runner;
+  for (const std::int64_t post_kb : kPostKb) {
+    runner.add(scenario(post_kb), std::to_string(post_kb) + "KB");
+  }
+  bench::run_all(runner);
+
   stats::Table table({"post-size-KB", "lan-rtt-alloc", "long-rtt-alloc",
                       "long-rtt-share-of-ideal"});
-  for (const std::int64_t post_kb : {25, 100, 1000}) {
-    exp::ScenarioConfig cfg;
-    cfg.mode = exp::DefenseMode::kAuction;
-    cfg.capacity_rps = 10.0;
-    cfg.seed = 33;
-    cfg.duration = bench::experiment_duration();
-    for (const bool long_rtt : {false, true}) {
-      exp::ClientGroupSpec g;
-      g.label = long_rtt ? "long-rtt" : "lan-rtt";
-      g.count = 10;
-      g.workload = client::good_client_params();
-      g.workload.post_size = kilobytes(post_kb);
-      g.access_delay = long_rtt ? Duration::millis(150) : Duration::micros(500);
-      cfg.groups.push_back(g);
-    }
-    const exp::ExperimentResult r = exp::run_scenario(cfg);
+  for (const std::int64_t post_kb : kPostKb) {
+    const exp::ExperimentResult& r = runner.result(std::to_string(post_kb) + "KB");
     table.row()
         .add(post_kb)
         .add(r.groups[0].allocation, 3)
         .add(r.groups[1].allocation, 3)
         .add(r.groups[1].allocation / 0.5, 3);
-    std::fflush(stdout);
   }
   table.print(std::cout);
   return 0;

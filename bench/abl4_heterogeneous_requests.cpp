@@ -6,9 +6,10 @@
 // attention cost a fresh bid. Attackers here are "smart": difficulty-10
 // requests, bandwidth concentrated on one payment at a time.
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -19,26 +20,36 @@ int main() {
       "time to attackers; the quantum auction restores the bandwidth-"
       "proportional time split (~0.5 here)");
 
-  stats::Table table({"bad-difficulty", "mechanism", "server-time-good", "server-time-bad",
-                      "suspensions"});
-  for (const int difficulty : {1, 5, 10}) {
-    for (const exp::DefenseMode mode :
-         {exp::DefenseMode::kAuction, exp::DefenseMode::kQuantumAuction}) {
+  const int kDifficulties[] = {1, 5, 10};
+  const exp::DefenseMode kModes[] = {exp::DefenseMode::kAuction,
+                                     exp::DefenseMode::kQuantumAuction};
+
+  exp::Runner runner;
+  for (const int difficulty : kDifficulties) {
+    for (const exp::DefenseMode mode : kModes) {
       exp::ScenarioConfig cfg = exp::lan_scenario(10, 10, 20.0, mode, /*seed=*/34);
       cfg.duration = bench::experiment_duration();
       cfg.groups[1].workload.difficulty = difficulty;
       cfg.groups[1].workload.window = 1;    // concentrate bandwidth
       cfg.groups[1].workload.lambda = 10.0;
-      exp::Experiment e(cfg);
-      const exp::ExperimentResult r = e.run();
+      runner.add(cfg, std::string(to_string(mode)) + "/d" + std::to_string(difficulty));
+    }
+  }
+  bench::run_all(runner);
+
+  stats::Table table({"bad-difficulty", "mechanism", "server-time-good", "server-time-bad",
+                      "suspensions"});
+  for (const int difficulty : kDifficulties) {
+    for (const exp::DefenseMode mode : kModes) {
+      const exp::ExperimentResult& r =
+          runner.result(std::string(to_string(mode)) + "/d" + std::to_string(difficulty));
       const bool quantum = mode == exp::DefenseMode::kQuantumAuction;
       table.row()
           .add(difficulty)
           .add(quantum ? "quantum (5)" : "flat (3.3)")
           .add(r.server_time_good, 3)
           .add(r.server_time_bad, 3)
-          .add(quantum ? e.quantum_thinner()->suspensions() : 0);
-      std::fflush(stdout);
+          .add(quantum ? r.thinner.counters.get("suspensions") : 0);
     }
   }
   table.print(std::cout);

@@ -3,12 +3,19 @@
 // Every harness runs the paper's experiment at reduced duration by default
 // (60 s instead of §7.1's 600 s) so the whole bench/ directory executes in
 // minutes. Set SPEAKUP_FULL=1 to run the paper-length experiments.
+//
+// Harnesses queue their scenarios on an exp::Runner and call
+// bench::run_all(), which executes them on a thread pool (one core per
+// scenario); SPEAKUP_THREADS caps the pool. Results are deterministic per
+// seed regardless of thread count.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "exp/runner.hpp"
 #include "util/units.hpp"
 
 namespace speakup::bench {
@@ -21,6 +28,29 @@ inline bool full_mode() {
 /// Experiment duration: the paper's 600 s in full mode, else `quick_sec`.
 inline Duration experiment_duration(double quick_sec = 60.0) {
   return Duration::seconds(full_mode() ? 600.0 : quick_sec);
+}
+
+/// Sweep parallelism: SPEAKUP_THREADS when set, else hardware concurrency.
+inline int default_threads() {
+  if (const char* env = std::getenv("SPEAKUP_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 0;  // Runner resolves 0 to hardware concurrency
+}
+
+/// Runs every queued scenario on the bench thread pool; any failure is
+/// fatal (a bench with a missing data point would silently mislead).
+inline const std::vector<exp::RunOutcome>& run_all(exp::Runner& runner) {
+  const auto& outcomes = runner.run_all(default_threads());
+  for (const auto& o : outcomes) {
+    if (!o.ok()) {
+      std::fprintf(stderr, "scenario '%s' failed: %s\n", o.label.c_str(),
+                   o.error.c_str());
+      std::exit(1);
+    }
+  }
+  return outcomes;
 }
 
 inline void print_banner(const char* figure, const char* description) {

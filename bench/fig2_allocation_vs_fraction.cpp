@@ -1,12 +1,13 @@
 // Figure 2: server allocation to good clients as a function of their
 // fraction f of the total client bandwidth. 50 clients x 2 Mbit/s on a LAN,
 // c = 100 requests/s. Series: with speak-up, without speak-up, ideal (f).
-#include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "core/theory.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -18,28 +19,26 @@ int main() {
 
   const int kClients = 50;
   const double kCapacity = 100.0;
+  std::vector<int> goods;
+  for (int good = 5; good <= 45; good += 5) goods.push_back(good);
+
+  exp::Runner runner;
+  runner
+      .sweep_good_fraction(kClients, goods, kCapacity, exp::DefenseMode::kNone,
+                           bench::experiment_duration(), /*seed=*/21)
+      .sweep_good_fraction(kClients, goods, kCapacity, exp::DefenseMode::kAuction,
+                           bench::experiment_duration(), /*seed=*/21);
+  bench::run_all(runner);
+
   stats::Table table({"f=G/(G+B)", "without-speakup", "with-speakup", "ideal"});
-
-  for (int good = 5; good <= 45; good += 5) {
-    const int bad = kClients - good;
+  for (const int good : goods) {
     const double f = static_cast<double>(good) / kClients;
-
-    exp::ScenarioConfig off =
-        exp::lan_scenario(good, bad, kCapacity, exp::DefenseMode::kNone, /*seed=*/21);
-    off.duration = bench::experiment_duration();
-    const exp::ExperimentResult r_off = exp::run_scenario(off);
-
-    exp::ScenarioConfig on =
-        exp::lan_scenario(good, bad, kCapacity, exp::DefenseMode::kAuction, /*seed=*/21);
-    on.duration = bench::experiment_duration();
-    const exp::ExperimentResult r_on = exp::run_scenario(on);
-
+    const std::string g = "/g" + std::to_string(good);
     table.row()
         .add(f, 2)
-        .add(r_off.allocation_good, 3)
-        .add(r_on.allocation_good, 3)
+        .add(runner.result("none" + g).allocation_good, 3)
+        .add(runner.result("auction" + g).allocation_good, 3)
         .add(core::theory::ideal_good_allocation(f, 1.0 - f), 3);
-    std::fflush(stdout);
   }
   table.print(std::cout);
   return 0;

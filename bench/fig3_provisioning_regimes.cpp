@@ -3,10 +3,11 @@
 // c = 50, 100, 200 requests/s. G = B = 50 Mbit/s (25 good + 25 bad clients,
 // 2 Mbit/s each); c_id = 100.
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.hpp"
 #include "core/theory.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -17,14 +18,25 @@ int main() {
       "for c = 50 and 100 the ON allocation is roughly proportional to aggregate "
       "bandwidths (~0.5/0.5); for c = 200 all good requests are served");
 
-  stats::Table table({"capacity", "defense", "alloc(good)", "alloc(bad)",
-                      "frac-good-served", "ideal-alloc(good)"});
-  for (const double c : {50.0, 100.0, 200.0}) {
-    for (const exp::DefenseMode mode :
-         {exp::DefenseMode::kNone, exp::DefenseMode::kAuction}) {
+  const double kCapacities[] = {50.0, 100.0, 200.0};
+  const exp::DefenseMode kModes[] = {exp::DefenseMode::kNone, exp::DefenseMode::kAuction};
+
+  exp::Runner runner;
+  for (const double c : kCapacities) {
+    for (const exp::DefenseMode mode : kModes) {
       exp::ScenarioConfig cfg = exp::lan_scenario(25, 25, c, mode, /*seed=*/22);
       cfg.duration = bench::experiment_duration();
-      const exp::ExperimentResult r = exp::run_scenario(cfg);
+      runner.add(cfg, std::string(to_string(mode)) + "/c" + std::to_string(int(c)));
+    }
+  }
+  bench::run_all(runner);
+
+  stats::Table table({"capacity", "defense", "alloc(good)", "alloc(bad)",
+                      "frac-good-served", "ideal-alloc(good)"});
+  for (const double c : kCapacities) {
+    for (const exp::DefenseMode mode : kModes) {
+      const exp::ExperimentResult& r =
+          runner.result(std::string(to_string(mode)) + "/c" + std::to_string(int(c)));
       table.row()
           .add(static_cast<std::int64_t>(c))
           .add(mode == exp::DefenseMode::kNone ? "OFF" : "ON")
@@ -32,7 +44,6 @@ int main() {
           .add(r.allocation_bad, 3)
           .add(r.fraction_good_served, 3)
           .add(core::theory::ideal_good_allocation(1.0, 1.0), 3);
-      std::fflush(stdout);
     }
   }
   table.print(std::cout);

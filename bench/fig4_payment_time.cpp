@@ -3,9 +3,10 @@
 // Mbit/s). With a lightly loaded server (c = 200) speak-up introduces
 // almost no latency.
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -15,18 +16,24 @@ int main() {
       "mean payment time shrinks as capacity grows; at c = 200 it is near zero "
       "(paper: ~1 s mean at c = 50, ~0.6 s at c = 100, ~0 at c = 200)");
 
-  stats::Table table({"capacity", "mean-payment-s", "p90-payment-s", "samples"});
-  for (const double c : {50.0, 100.0, 200.0}) {
+  const double kCapacities[] = {50.0, 100.0, 200.0};
+  exp::Runner runner;
+  for (const double c : kCapacities) {
     exp::ScenarioConfig cfg =
         exp::lan_scenario(25, 25, c, exp::DefenseMode::kAuction, /*seed=*/23);
     cfg.duration = bench::experiment_duration();
-    const exp::ExperimentResult r = exp::run_scenario(cfg);
+    runner.add(cfg, "c" + std::to_string(int(c)));
+  }
+  bench::run_all(runner);
+
+  stats::Table table({"capacity", "mean-payment-s", "p90-payment-s", "samples"});
+  for (const double c : kCapacities) {
+    const exp::ExperimentResult& r = runner.result("c" + std::to_string(int(c)));
     table.row()
         .add(static_cast<std::int64_t>(c))
         .add(r.thinner.payment_time_good.mean(), 3)
         .add(r.thinner.payment_time_good.percentile(0.9), 3)
         .add(static_cast<std::int64_t>(r.thinner.payment_time_good.count()));
-    std::fflush(stdout);
   }
   table.print(std::cout);
   return 0;

@@ -2,10 +2,11 @@
 // "price" — for served requests, by class, against the theoretical average
 // (G+B)/c ("Upper Bound"). G = B = 50 Mbit/s.
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.hpp"
 #include "core/theory.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -17,12 +18,20 @@ int main() {
 
   // G + B = 50 Mbit/s + 50 Mbit/s = 100 Mbit/s of aggregate client bandwidth.
   const double kTotalBytesPerSec = 100e6 / 8.0;
-  stats::Table table({"capacity", "price-good-KB", "price-bad-KB", "upper-bound-KB"});
-  for (const double c : {50.0, 100.0, 200.0}) {
+  const double kCapacities[] = {50.0, 100.0, 200.0};
+
+  exp::Runner runner;
+  for (const double c : kCapacities) {
     exp::ScenarioConfig cfg =
         exp::lan_scenario(25, 25, c, exp::DefenseMode::kAuction, /*seed=*/24);
     cfg.duration = bench::experiment_duration();
-    const exp::ExperimentResult r = exp::run_scenario(cfg);
+    runner.add(cfg, "c" + std::to_string(int(c)));
+  }
+  bench::run_all(runner);
+
+  stats::Table table({"capacity", "price-good-KB", "price-bad-KB", "upper-bound-KB"});
+  for (const double c : kCapacities) {
+    const exp::ExperimentResult& r = runner.result("c" + std::to_string(int(c)));
     table.row()
         .add(static_cast<std::int64_t>(c))
         .add(r.thinner.price_good.mean() / 1000.0, 1)
@@ -30,7 +39,6 @@ int main() {
         .add(core::theory::average_price_bytes(kTotalBytesPerSec / 2, kTotalBytesPerSec / 2, c) /
                  1000.0,
              1);
-    std::fflush(stdout);
   }
   table.print(std::cout);
   return 0;

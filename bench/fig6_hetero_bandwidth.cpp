@@ -5,7 +5,7 @@
 #include <iostream>
 
 #include "bench/bench_common.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -30,7 +30,10 @@ int main() {
     cfg.groups.push_back(g);
     total_bw += 10 * 0.5 * i;
   }
-  const exp::ExperimentResult r = exp::run_scenario(cfg);
+  exp::Runner runner;
+  runner.add(cfg, "hetero-bw");
+  bench::run_all(runner);
+  const exp::ExperimentResult& r = runner.result("hetero-bw");
 
   stats::Table table({"category", "bandwidth-Mbit/s", "observed-alloc", "ideal-alloc"});
   for (int i = 1; i <= 5; ++i) {

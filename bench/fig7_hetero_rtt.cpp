@@ -7,8 +7,32 @@
 #include <iostream>
 
 #include "bench/bench_common.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
+
+namespace {
+
+speakup::exp::ScenarioConfig scenario(bool bad) {
+  using namespace speakup;
+  exp::ScenarioConfig cfg;
+  cfg.mode = exp::DefenseMode::kAuction;
+  cfg.capacity_rps = 10.0;
+  cfg.seed = 26;
+  cfg.duration = bench::experiment_duration();
+  for (int i = 1; i <= 5; ++i) {
+    exp::ClientGroupSpec g;
+    g.label = (bad ? "bad-rtt" : "good-rtt") + std::to_string(100 * i);
+    g.count = 10;
+    g.workload = bad ? client::bad_client_params() : client::good_client_params();
+    // Path RTT = 2 * (client one-way + thinner one-way); thinner side is
+    // 0.5 ms, so aim the client link at (50*i - 0.5) ms.
+    g.access_delay = Duration::micros(50'000 * i - 500);
+    cfg.groups.push_back(g);
+  }
+  return cfg;
+}
+
+}  // namespace
 
 int main() {
   using namespace speakup;
@@ -17,27 +41,11 @@ int main() {
       "all-good: long-RTT categories fall below the 0.2 ideal (no category "
       "below ~half or above ~double); all-bad: allocation stays ~flat");
 
-  auto run = [](bool bad) {
-    exp::ScenarioConfig cfg;
-    cfg.mode = exp::DefenseMode::kAuction;
-    cfg.capacity_rps = 10.0;
-    cfg.seed = 26;
-    cfg.duration = bench::experiment_duration();
-    for (int i = 1; i <= 5; ++i) {
-      exp::ClientGroupSpec g;
-      g.label = (bad ? "bad-rtt" : "good-rtt") + std::to_string(100 * i);
-      g.count = 10;
-      g.workload = bad ? client::bad_client_params() : client::good_client_params();
-      // Path RTT = 2 * (client one-way + thinner one-way); thinner side is
-      // 0.5 ms, so aim the client link at (50*i - 0.5) ms.
-      g.access_delay = Duration::micros(50'000 * i - 500);
-      cfg.groups.push_back(g);
-    }
-    return exp::run_scenario(cfg);
-  };
-
-  const exp::ExperimentResult good = run(false);
-  const exp::ExperimentResult bad = run(true);
+  exp::Runner runner;
+  runner.add(scenario(false), "all-good").add(scenario(true), "all-bad");
+  bench::run_all(runner);
+  const exp::ExperimentResult& good = runner.result("all-good");
+  const exp::ExperimentResult& bad = runner.result("all-bad");
 
   stats::Table table({"RTT-ms", "all-good-alloc", "all-bad-alloc", "ideal"});
   for (int i = 1; i <= 5; ++i) {

@@ -9,10 +9,60 @@
 //   - the fraction of bottlenecked good requests served, vs an ideal that
 //     scales each bottlenecked client to 2*(40/60) Mbit/s.
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
+
+namespace {
+
+struct Mix {
+  int good;
+  int bad;
+  [[nodiscard]] std::string label() const {
+    return std::to_string(good) + "/" + std::to_string(bad);
+  }
+};
+
+speakup::exp::ScenarioConfig scenario(const Mix& mix) {
+  using namespace speakup;
+  exp::ScenarioConfig cfg;
+  cfg.mode = exp::DefenseMode::kAuction;
+  cfg.capacity_rps = 50.0;
+  cfg.seed = 27;
+  cfg.duration = bench::experiment_duration();
+  cfg.bottleneck =
+      exp::BottleneckSpec{Bandwidth::mbps(40.0), Duration::micros(500), 100'000};
+
+  exp::ClientGroupSpec direct_good;
+  direct_good.label = "direct-good";
+  direct_good.count = 10;
+  direct_good.workload = client::good_client_params();
+  cfg.groups.push_back(direct_good);
+
+  exp::ClientGroupSpec direct_bad = direct_good;
+  direct_bad.label = "direct-bad";
+  direct_bad.workload = client::bad_client_params();
+  cfg.groups.push_back(direct_bad);
+
+  exp::ClientGroupSpec bn_good;
+  bn_good.label = "bn-good";
+  bn_good.count = mix.good;
+  bn_good.workload = client::good_client_params();
+  bn_good.behind_bottleneck = true;
+  cfg.groups.push_back(bn_good);
+
+  exp::ClientGroupSpec bn_bad;
+  bn_bad.label = "bn-bad";
+  bn_bad.count = mix.bad;
+  bn_bad.workload = client::bad_client_params();
+  bn_bad.behind_bottleneck = true;
+  cfg.groups.push_back(bn_bad);
+  return cfg;
+}
+
+}  // namespace
 
 int main() {
   using namespace speakup;
@@ -22,61 +72,26 @@ int main() {
       "than the proportional ideal because bad clients 'hog' l with many "
       "concurrent connections");
 
+  const Mix mixes[] = {{25, 5}, {15, 15}, {5, 25}};
+  exp::Runner runner;
+  for (const Mix& mix : mixes) runner.add(scenario(mix), mix.label());
+  bench::run_all(runner);
+
   stats::Table table({"mix(bn-good/bn-bad)", "bn-share-good", "bn-share-bad",
                       "ideal-good", "ideal-bad", "frac-bn-good-served"});
-
-  const struct {
-    int good;
-    int bad;
-  } mixes[] = {{25, 5}, {15, 15}, {5, 25}};
-
-  for (const auto& mix : mixes) {
-    exp::ScenarioConfig cfg;
-    cfg.mode = exp::DefenseMode::kAuction;
-    cfg.capacity_rps = 50.0;
-    cfg.seed = 27;
-    cfg.duration = bench::experiment_duration();
-    cfg.bottleneck =
-        exp::BottleneckSpec{Bandwidth::mbps(40.0), Duration::micros(500), 100'000};
-
-    exp::ClientGroupSpec direct_good;
-    direct_good.label = "direct-good";
-    direct_good.count = 10;
-    direct_good.workload = client::good_client_params();
-    cfg.groups.push_back(direct_good);
-
-    exp::ClientGroupSpec direct_bad = direct_good;
-    direct_bad.label = "direct-bad";
-    direct_bad.workload = client::bad_client_params();
-    cfg.groups.push_back(direct_bad);
-
-    exp::ClientGroupSpec bn_good;
-    bn_good.label = "bn-good";
-    bn_good.count = mix.good;
-    bn_good.workload = client::good_client_params();
-    bn_good.behind_bottleneck = true;
-    cfg.groups.push_back(bn_good);
-
-    exp::ClientGroupSpec bn_bad;
-    bn_bad.label = "bn-bad";
-    bn_bad.count = mix.bad;
-    bn_bad.workload = client::bad_client_params();
-    bn_bad.behind_bottleneck = true;
-    cfg.groups.push_back(bn_bad);
-
-    const exp::ExperimentResult r = exp::run_scenario(cfg);
+  for (const Mix& mix : mixes) {
+    const exp::ExperimentResult& r = runner.result(mix.label());
     const double bn_good_alloc = r.groups[2].allocation;
     const double bn_bad_alloc = r.groups[3].allocation;
     const double bn_total = bn_good_alloc + bn_bad_alloc;
 
     table.row()
-        .add(std::to_string(mix.good) + "/" + std::to_string(mix.bad))
+        .add(mix.label())
         .add(bn_total > 0 ? bn_good_alloc / bn_total : 0.0, 3)
         .add(bn_total > 0 ? bn_bad_alloc / bn_total : 0.0, 3)
         .add(static_cast<double>(mix.good) / 30.0, 3)
         .add(static_cast<double>(mix.bad) / 30.0, 3)
         .add(r.groups[2].totals.fraction_served(), 3);
-    std::fflush(stdout);
   }
   table.print(std::cout);
   return 0;

@@ -5,11 +5,42 @@
 // the thinner (c = 2 requests/s) and a separate web server. H downloads a
 // file repeatedly; we report mean and standard deviation of the end-to-end
 // latency with and without the speak-up clients running, across file sizes.
+// 16 independent scenarios — the flagship parallel sweep.
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
+
+namespace {
+
+speakup::exp::ScenarioConfig scenario(std::int64_t kb, bool with_speakup, int downloads) {
+  using namespace speakup;
+  exp::ScenarioConfig cfg;
+  cfg.mode = exp::DefenseMode::kAuction;
+  cfg.capacity_rps = 2.0;
+  cfg.seed = 28;
+  cfg.bottleneck =
+      exp::BottleneckSpec{Bandwidth::mbps(1.0), Duration::millis(100), 200'000};
+  if (with_speakup) {
+    exp::ClientGroupSpec g;
+    g.label = "speakup-clients";
+    g.count = 10;
+    g.workload = client::good_client_params();
+    g.behind_bottleneck = true;
+    cfg.groups.push_back(g);
+  }
+  exp::CollateralSpec col;
+  col.file_size = kilobytes(kb);
+  col.downloads = downloads;
+  cfg.collateral = col;
+  // Give the downloads time to finish even when heavily delayed.
+  cfg.duration = Duration::seconds(std::max(120.0, downloads * 6.0));
+  return cfg;
+}
+
+}  // namespace
 
 int main() {
   using namespace speakup;
@@ -20,45 +51,29 @@ int main() {
       "configuration)");
 
   const int kDownloads = bench::full_mode() ? 100 : 40;
+  const std::int64_t kSizesKb[] = {1, 2, 4, 8, 16, 32, 64, 100};
+
+  exp::Runner runner;
+  for (const std::int64_t kb : kSizesKb) {
+    runner.add(scenario(kb, false, kDownloads), "off/" + std::to_string(kb) + "KB");
+    runner.add(scenario(kb, true, kDownloads), "on/" + std::to_string(kb) + "KB");
+  }
+  bench::run_all(runner);
+
   stats::Table table({"size-KB", "no-speakup-mean-s", "no-speakup-sd", "speakup-mean-s",
                       "speakup-sd", "inflation"});
-
-  for (const std::int64_t kb : {1, 2, 4, 8, 16, 32, 64, 100}) {
-    double mean[2] = {0.0, 0.0};
-    double sd[2] = {0.0, 0.0};
-    for (const bool with_speakup : {false, true}) {
-      exp::ScenarioConfig cfg;
-      cfg.mode = exp::DefenseMode::kAuction;
-      cfg.capacity_rps = 2.0;
-      cfg.seed = 28;
-      cfg.bottleneck =
-          exp::BottleneckSpec{Bandwidth::mbps(1.0), Duration::millis(100), 200'000};
-      if (with_speakup) {
-        exp::ClientGroupSpec g;
-        g.label = "speakup-clients";
-        g.count = 10;
-        g.workload = client::good_client_params();
-        g.behind_bottleneck = true;
-        cfg.groups.push_back(g);
-      }
-      exp::CollateralSpec col;
-      col.file_size = kilobytes(kb);
-      col.downloads = kDownloads;
-      cfg.collateral = col;
-      // Give the downloads time to finish even when heavily delayed.
-      cfg.duration = Duration::seconds(std::max(120.0, kDownloads * 6.0));
-      const exp::ExperimentResult r = exp::run_scenario(cfg);
-      mean[with_speakup ? 1 : 0] = r.collateral_latencies.mean();
-      sd[with_speakup ? 1 : 0] = r.collateral_latencies.stddev();
-    }
+  for (const std::int64_t kb : kSizesKb) {
+    const exp::ExperimentResult& off = runner.result("off/" + std::to_string(kb) + "KB");
+    const exp::ExperimentResult& on = runner.result("on/" + std::to_string(kb) + "KB");
+    const double mean_off = off.collateral_latencies.mean();
+    const double mean_on = on.collateral_latencies.mean();
     table.row()
         .add(kb)
-        .add(mean[0], 3)
-        .add(sd[0], 3)
-        .add(mean[1], 3)
-        .add(sd[1], 3)
-        .add(mean[0] > 0 ? mean[1] / mean[0] : 0.0, 2);
-    std::fflush(stdout);
+        .add(mean_off, 3)
+        .add(off.collateral_latencies.stddev(), 3)
+        .add(mean_on, 3)
+        .add(on.collateral_latencies.stddev(), 3)
+        .add(mean_off > 0 ? mean_on / mean_off : 0.0, 2);
   }
   table.print(std::cout);
   return 0;

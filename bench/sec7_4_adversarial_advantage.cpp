@@ -6,11 +6,13 @@
 //  (2) How does the bad clients' window w affect their capture of the
 //      server? (Paper: w = 20 is pessimistic; other w in 1..60 capture
 //      less.)
+#include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.hpp"
 #include "core/theory.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -20,17 +22,34 @@ int main() {
       "all good demand is satisfied at c ~ 15% above the ideal c_id; "
       "bad-client window w = 20 is the (near-)pessimal choice");
 
+  const double kCapacities[] = {100.0, 110.0, 120.0, 130.0, 140.0, 150.0, 160.0};
+  const int kWindows[] = {1, 5, 10, 20, 40, 60};
+
+  // Both sweeps share one thread pool: capacity sweep + window sweep.
+  exp::Runner runner;
+  for (const double c : kCapacities) {
+    exp::ScenarioConfig cfg =
+        exp::lan_scenario(25, 25, c, exp::DefenseMode::kAuction, /*seed=*/29);
+    cfg.duration = bench::experiment_duration(120.0);
+    runner.add(cfg, "c" + std::to_string(int(c)));
+  }
+  for (const int w : kWindows) {
+    exp::ScenarioConfig cfg =
+        exp::lan_scenario(25, 25, 100.0, exp::DefenseMode::kAuction, /*seed=*/29);
+    cfg.duration = bench::experiment_duration(120.0);
+    cfg.groups[1].workload.window = w;
+    runner.add(cfg, "w" + std::to_string(w));
+  }
+  bench::run_all(runner);
+
   // (1) Sweep c upward from c_id until the good clients are fully served.
   // "Fully served" tolerates a sliver of backlog-expiry noise.
   std::printf("c_id (ideal provisioning, G=B, g=50/s): %.0f req/s\n\n",
               core::theory::ideal_provisioning(50.0, 50.0, 50.0));
   stats::Table sweep({"capacity", "frac-good-served", "alloc(good)", "verdict"});
   double satisfied_at = -1.0;
-  for (const double c : {100.0, 110.0, 120.0, 130.0, 140.0, 150.0, 160.0}) {
-    exp::ScenarioConfig cfg =
-        exp::lan_scenario(25, 25, c, exp::DefenseMode::kAuction, /*seed=*/29);
-    cfg.duration = bench::experiment_duration(120.0);
-    const exp::ExperimentResult r = exp::run_scenario(cfg);
+  for (const double c : kCapacities) {
+    const exp::ExperimentResult& r = runner.result("c" + std::to_string(int(c)));
     const bool ok = r.fraction_good_served >= 0.99;
     if (ok && satisfied_at < 0) satisfied_at = c;
     sweep.row()
@@ -38,7 +57,6 @@ int main() {
         .add(r.fraction_good_served, 3)
         .add(r.allocation_good, 3)
         .add(ok ? "all good demand served" : "good demand NOT met");
-    std::fflush(stdout);
   }
   sweep.print(std::cout);
   if (satisfied_at > 0) {
@@ -50,14 +68,9 @@ int main() {
 
   // (2) Bad window sweep at c = 100.
   stats::Table wsweep({"bad-window-w", "alloc(bad)", "alloc(good)"});
-  for (const int w : {1, 5, 10, 20, 40, 60}) {
-    exp::ScenarioConfig cfg =
-        exp::lan_scenario(25, 25, 100.0, exp::DefenseMode::kAuction, /*seed=*/29);
-    cfg.duration = bench::experiment_duration(120.0);
-    cfg.groups[1].workload.window = w;
-    const exp::ExperimentResult r = exp::run_scenario(cfg);
+  for (const int w : kWindows) {
+    const exp::ExperimentResult& r = runner.result("w" + std::to_string(w));
     wsweep.row().add(w).add(r.allocation_bad, 3).add(r.allocation_good, 3);
-    std::fflush(stdout);
   }
   wsweep.print(std::cout);
   return 0;

@@ -9,38 +9,73 @@
 //      (§7.6, §7.7).
 //
 // Each row below is a quick re-measurement; the per-figure binaries carry
-// the detailed versions.
+// the detailed versions. All scenario rows run on one Runner pool up front.
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.hpp"
 #include "core/auction_thinner.hpp"
 #include "core/theory.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 
 namespace {
 
 using namespace speakup;
 
-// Row 1: proportional allocation at f = 0.5 (G = B).
-void row1() {
-  exp::ScenarioConfig cfg =
+const double kRow2Capacities[] = {110.0, 125.0, 140.0, 155.0};
+
+void queue_scenarios(exp::Runner& runner) {
+  // Row 1: proportional allocation at f = 0.5 (G = B).
+  exp::ScenarioConfig r1 =
       exp::lan_scenario(25, 25, 100.0, exp::DefenseMode::kAuction, /*seed=*/41);
-  cfg.duration = bench::experiment_duration();
-  const exp::ExperimentResult r = exp::run_scenario(cfg);
+  r1.duration = bench::experiment_duration();
+  runner.add(r1, "row1");
+
+  // Row 2: provisioning sweep above the ideal.
+  for (const double c : kRow2Capacities) {
+    exp::ScenarioConfig cfg =
+        exp::lan_scenario(25, 25, c, exp::DefenseMode::kAuction, /*seed=*/41);
+    cfg.duration = bench::experiment_duration(120.0);
+    runner.add(cfg, "row2/c" + std::to_string(int(c)));
+  }
+
+  // Row 4: crowding on a bottleneck (mini Figure 9).
+  for (const bool with_speakup : {false, true}) {
+    exp::ScenarioConfig cfg;
+    cfg.mode = exp::DefenseMode::kAuction;
+    cfg.capacity_rps = 2.0;
+    cfg.seed = 41;
+    cfg.duration = Duration::seconds(90.0);
+    cfg.bottleneck =
+        exp::BottleneckSpec{Bandwidth::mbps(1.0), Duration::millis(100), 100'000};
+    if (with_speakup) {
+      exp::ClientGroupSpec g;
+      g.label = "speakup";
+      g.count = 10;
+      g.workload = client::good_client_params();
+      g.behind_bottleneck = true;
+      cfg.groups.push_back(g);
+    }
+    exp::CollateralSpec col;
+    col.file_size = kilobytes(8);
+    col.downloads = 20;
+    cfg.collateral = col;
+    runner.add(cfg, with_speakup ? "row4/on" : "row4/off");
+  }
+}
+
+void row1(const exp::Runner& runner) {
+  const exp::ExperimentResult& r = runner.result("row1");
   std::printf("1. proportional allocation:   alloc(good) = %.2f for G=B (ideal 0.50,\n"
               "   paper ~0.42-0.48 measured)  [details: fig2, fig6, fig7]\n",
               r.allocation_good);
 }
 
-// Row 2: provisioning beyond the ideal.
-void row2() {
+void row2(const exp::Runner& runner) {
   double satisfied_at = -1;
-  for (const double c : {110.0, 125.0, 140.0, 155.0}) {
-    exp::ScenarioConfig cfg =
-        exp::lan_scenario(25, 25, c, exp::DefenseMode::kAuction, /*seed=*/41);
-    cfg.duration = bench::experiment_duration(120.0);
-    const exp::ExperimentResult r = exp::run_scenario(cfg);
+  for (const double c : kRow2Capacities) {
+    const exp::ExperimentResult& r = runner.result("row2/c" + std::to_string(int(c)));
     if (r.fraction_good_served >= 0.99) {
       satisfied_at = c;
       break;
@@ -57,6 +92,7 @@ void row2() {
 
 // Row 3: thinner byte-sink rate (quick wall-clock measurement of the whole
 // simulated stack; see tab1_thinner_capacity for the benchmark version).
+// This row measures host speed, not a scenario, so it stays hand-built.
 void row3() {
   sim::EventLoop loop;
   net::Network net(loop);
@@ -103,48 +139,28 @@ void row3() {
               mbps);
 }
 
-// Row 4: crowding on a bottleneck (mini Figure 9).
-void row4() {
-  double mean[2] = {0, 0};
-  for (const bool with_speakup : {false, true}) {
-    exp::ScenarioConfig cfg;
-    cfg.mode = exp::DefenseMode::kAuction;
-    cfg.capacity_rps = 2.0;
-    cfg.seed = 41;
-    cfg.duration = Duration::seconds(90.0);
-    cfg.bottleneck =
-        exp::BottleneckSpec{Bandwidth::mbps(1.0), Duration::millis(100), 100'000};
-    if (with_speakup) {
-      exp::ClientGroupSpec g;
-      g.label = "speakup";
-      g.count = 10;
-      g.workload = client::good_client_params();
-      g.behind_bottleneck = true;
-      cfg.groups.push_back(g);
-    }
-    exp::CollateralSpec col;
-    col.file_size = kilobytes(8);
-    col.downloads = 20;
-    cfg.collateral = col;
-    const exp::ExperimentResult r = exp::run_scenario(cfg);
-    mean[with_speakup ? 1 : 0] = r.collateral_latencies.mean();
-  }
+void row4(const exp::Runner& runner) {
+  const double off = runner.result("row4/off").collateral_latencies.mean();
+  const double on = runner.result("row4/on").collateral_latencies.mean();
   std::printf("4. bottleneck crowding:       8 KB downloads inflate %.1fx when sharing\n"
               "   a 1 Mbit/s link with speak-up traffic (paper: ~4.5-6x)  [details: "
               "fig8, fig9]\n",
-              mean[0] > 0 ? mean[1] / mean[0] : 0.0);
+              off > 0 ? on / off : 0.0);
 }
 
 }  // namespace
 
 int main() {
   bench::print_banner("Table 1", "summary of main evaluation results");
-  row1();
+  exp::Runner runner;
+  queue_scenarios(runner);
+  bench::run_all(runner);
+  row1(runner);
   std::fflush(stdout);
-  row2();
+  row2(runner);
   std::fflush(stdout);
   row3();
   std::fflush(stdout);
-  row4();
+  row4(runner);
   return 0;
 }

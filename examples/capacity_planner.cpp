@@ -10,7 +10,7 @@
 #include <cstdlib>
 
 #include "core/theory.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace speakup;
@@ -54,9 +54,11 @@ int main(int argc, char** argv) {
   exp::ScenarioConfig cfg =
       exp::lan_scenario(good_clients, bad_clients, sim_cid, exp::DefenseMode::kAuction, 9);
   cfg.duration = Duration::seconds(60.0);
-  const exp::ExperimentResult r = exp::run_scenario(cfg);
+  exp::Runner runner;
+  runner.add(cfg, "validation");
+  runner.run_all();
   std::printf("  fraction of good requests served at c_id: %.2f (ideal 1.0; the gap\n"
               "  is the §7.4 adversarial advantage — add ~15-40%% headroom)\n",
-              r.fraction_good_served);
+              runner.result("validation").fraction_good_served);
   return 0;
 }

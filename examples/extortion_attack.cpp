@@ -7,32 +7,44 @@
 //
 // We model a site whose ~40 real customers (Poisson 2 req/s each, 2 Mbit/s
 // uplinks) face growing botnets, and report who gets served, with the
-// §3.1 capacity planning rule printed alongside.
+// §3.1 capacity planning rule printed alongside. The 3 botnet sizes x 2
+// defenses = 6 scenarios run in parallel on the exp::Runner pool.
 #include <cstdio>
+#include <string>
 
 #include "core/theory.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 
 int main() {
   using namespace speakup;
 
   const int kCustomers = 40;
   const double kCapacity = 160.0;  // 2x the legitimate demand of 80 req/s
+  const int kBotnets[] = {10, 40, 120};
+  const exp::DefenseMode kModes[] = {exp::DefenseMode::kNone, exp::DefenseMode::kAuction};
 
   std::printf("travel-search site: %d customers, server capacity %.0f req/s\n",
               kCustomers, kCapacity);
   std::printf("legitimate demand: %.0f req/s -> spare capacity %.0f%%\n\n",
               kCustomers * 2.0, (1 - kCustomers * 2.0 / kCapacity) * 100);
 
-  std::printf("%-12s %-10s %-22s %-22s\n", "botnet", "defense", "customers served",
-              "customer experience");
-  for (const int bots : {10, 40, 120}) {
-    for (const exp::DefenseMode mode :
-         {exp::DefenseMode::kNone, exp::DefenseMode::kAuction}) {
+  exp::Runner runner;
+  for (const int bots : kBotnets) {
+    for (const exp::DefenseMode mode : kModes) {
       exp::ScenarioConfig cfg =
           exp::lan_scenario(kCustomers, bots, kCapacity, mode, /*seed=*/5);
       cfg.duration = Duration::seconds(60.0);
-      const exp::ExperimentResult r = exp::run_scenario(cfg);
+      runner.add(cfg, std::string(to_string(mode)) + "/bots" + std::to_string(bots));
+    }
+  }
+  runner.run_all();
+
+  std::printf("%-12s %-10s %-22s %-22s\n", "botnet", "defense", "customers served",
+              "customer experience");
+  for (const int bots : kBotnets) {
+    for (const exp::DefenseMode mode : kModes) {
+      const exp::ExperimentResult& r =
+          runner.result(std::string(to_string(mode)) + "/bots" + std::to_string(bots));
       const double f = r.fraction_good_served;
       std::printf("%-12d %-10s %-22.2f %-22s\n", bots, exp::to_string(mode), f,
                   f > 0.95   ? "unharmed"

@@ -6,21 +6,28 @@
 // quantifies the experience: an all-good overload with and without the
 // thinner, showing that under speak-up everyone still gets a fair share and
 // what the bidding costs them.
+#include <algorithm>
 #include <cstdio>
 
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 
 int main() {
   using namespace speakup;
   std::printf("flash crowd: 40 good clients (Poisson 2 req/s each) hit a server\n"
               "with capacity 40 req/s — overload with no attacker in sight.\n\n");
 
-  for (const exp::DefenseMode mode :
-       {exp::DefenseMode::kNone, exp::DefenseMode::kAuction}) {
+  const exp::DefenseMode kModes[] = {exp::DefenseMode::kNone, exp::DefenseMode::kAuction};
+  exp::Runner runner;
+  for (const exp::DefenseMode mode : kModes) {
     exp::ScenarioConfig cfg = exp::lan_scenario(/*good=*/40, /*bad=*/0,
                                                 /*capacity=*/40.0, mode, /*seed=*/13);
     cfg.duration = Duration::seconds(60.0);
-    const exp::ExperimentResult r = exp::run_scenario(cfg);
+    runner.add(cfg, to_string(mode));
+  }
+  runner.run_all();
+
+  for (const exp::DefenseMode mode : kModes) {
+    const exp::ExperimentResult& r = runner.result(to_string(mode));
     std::printf("%s:\n", mode == exp::DefenseMode::kNone ? "without speak-up"
                                                          : "with speak-up");
     std::printf("  fraction of requests served: %.2f\n", r.fraction_good_served);

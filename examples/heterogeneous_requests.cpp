@@ -8,7 +8,7 @@
 // SUSPEND/RESUME/ABORT interface.
 #include <cstdio>
 
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 
 int main() {
   using namespace speakup;
@@ -16,15 +16,21 @@ int main() {
   std::printf("database front-end: 10 good clients (easy queries) vs 10 attackers\n"
               "sending only 10x-hard queries, all with equal bandwidth.\n\n");
 
-  for (const exp::DefenseMode mode :
-       {exp::DefenseMode::kAuction, exp::DefenseMode::kQuantumAuction}) {
+  const exp::DefenseMode kModes[] = {exp::DefenseMode::kAuction,
+                                     exp::DefenseMode::kQuantumAuction};
+  exp::Runner runner;
+  for (const exp::DefenseMode mode : kModes) {
     exp::ScenarioConfig cfg = exp::lan_scenario(10, 10, 20.0, mode, /*seed=*/6);
     cfg.duration = Duration::seconds(60.0);
     cfg.groups[1].workload.difficulty = 10;  // attackers send hard queries
     cfg.groups[1].workload.window = 1;       // and concentrate their bandwidth
     cfg.groups[1].workload.lambda = 10.0;
-    exp::Experiment e(cfg);
-    const exp::ExperimentResult r = e.run();
+    runner.add(cfg, to_string(mode));
+  }
+  runner.run_all();
+
+  for (const exp::DefenseMode mode : kModes) {
+    const exp::ExperimentResult& r = runner.result(to_string(mode));
     std::printf("%s thinner:\n", mode == exp::DefenseMode::kAuction
                                      ? "flat-auction (§3.3)"
                                      : "quantum-auction (§5) ");
@@ -33,10 +39,10 @@ int main() {
     std::printf("  good requests served: %lld   denied: %lld\n",
                 static_cast<long long>(r.groups[0].totals.served),
                 static_cast<long long>(r.groups[0].totals.denied));
-    if (const auto* q = e.quantum_thinner()) {
+    if (mode == exp::DefenseMode::kQuantumAuction) {
       std::printf("  quantum mechanics: %lld suspensions, %lld aborts\n",
-                  static_cast<long long>(q->suspensions()),
-                  static_cast<long long>(q->aborts()));
+                  static_cast<long long>(r.thinner.counters.get("suspensions")),
+                  static_cast<long long>(r.thinner.counters.get("aborts")));
     }
     std::printf("\n");
   }

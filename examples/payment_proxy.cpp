@@ -8,7 +8,7 @@
 // with and without a 20 Mbit/s ISP proxy fronting the DSL group.
 #include <cstdio>
 
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 
 namespace {
 
@@ -51,19 +51,22 @@ int main() {
   using namespace speakup;
   std::printf("bandwidth envy (§9): 10 DSL (0.5 Mbit/s) + 10 cable (2 Mbit/s)\n"
               "customers vs 10 bots (2 Mbit/s), c = 40 req/s\n\n");
+  exp::Runner runner;
+  runner.add(scenario(false), "no-proxy").add(scenario(true), "proxy");
+  runner.run_all();
+
   for (const bool with_proxy : {false, true}) {
-    exp::Experiment e(scenario(with_proxy));
-    const exp::ExperimentResult r = e.run();
+    const exp::ExperimentResult& r = runner.result(with_proxy ? "proxy" : "no-proxy");
     std::printf("%s:\n", with_proxy ? "with a 20 Mbit/s ISP payment proxy for DSL"
                                     : "no proxy (DSL customers pay for themselves)");
     for (const auto& g : r.groups) {
       std::printf("  %-6s allocation=%.2f  fraction-served=%.2f\n", g.label.c_str(),
                   g.allocation, g.totals.fraction_served());
     }
-    if (auto* p = e.payment_proxy()) {
+    if (with_proxy) {
       std::printf("  proxy: relayed %lld requests, paid for %lld\n",
-                  static_cast<long long>(p->relayed_requests()),
-                  static_cast<long long>(p->payments_started()));
+                  static_cast<long long>(r.proxy_relayed_requests),
+                  static_cast<long long>(r.proxy_payments_started));
     }
     std::printf("\n");
   }

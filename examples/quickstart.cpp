@@ -3,13 +3,14 @@
 // 25 good clients (Poisson 2 req/s, window 1) and 25 bad clients (Poisson
 // 40 req/s, window 20) share a LAN; every client has a 2 Mbit/s uplink; the
 // server handles 100 requests/s. We run the same attack twice — undefended,
-// then behind the speak-up thinner — and print who got the server.
+// then behind the speak-up thinner — and print who got the server. Both
+// runs execute in parallel on the exp::Runner pool.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
 #include "core/theory.hpp"
-#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 
 int main() {
   using namespace speakup;
@@ -21,10 +22,17 @@ int main() {
   std::printf("speak-up quickstart: %d good vs %d bad clients, c = %.0f req/s\n\n",
               kGood, kBad, kCapacity);
 
-  for (const exp::DefenseMode mode : {exp::DefenseMode::kNone, exp::DefenseMode::kAuction}) {
+  const exp::DefenseMode kModes[] = {exp::DefenseMode::kNone, exp::DefenseMode::kAuction};
+  exp::Runner runner;
+  for (const exp::DefenseMode mode : kModes) {
     exp::ScenarioConfig cfg = exp::lan_scenario(kGood, kBad, kCapacity, mode, /*seed=*/7);
     cfg.duration = Duration::seconds(30.0);
-    const exp::ExperimentResult r = exp::run_scenario(cfg);
+    runner.add(cfg, to_string(mode));
+  }
+  runner.run_all();
+
+  for (const exp::DefenseMode mode : kModes) {
+    const exp::ExperimentResult& r = runner.result(to_string(mode));
     std::printf("defense=%-8s served(good)=%-5lld served(bad)=%-5lld "
                 "alloc(good)=%.2f frac-good-served=%.2f\n",
                 exp::to_string(mode), static_cast<long long>(r.served_good),

@@ -24,6 +24,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "core/front_end.hpp"
 #include "core/thinner_stats.hpp"
 #include "http/message.hpp"
 #include "http/message_stream.hpp"
@@ -35,7 +36,7 @@
 
 namespace speakup::core {
 
-class AuctionThinner {
+class AuctionThinner : public FrontEnd {
  public:
   struct Config {
     double capacity_rps = 100.0;
@@ -50,13 +51,20 @@ class AuctionThinner {
 
   AuctionThinner(transport::Host& host, const Config& cfg, util::RngStream server_rng);
 
-  AuctionThinner(const AuctionThinner&) = delete;
-  AuctionThinner& operator=(const AuctionThinner&) = delete;
-
-  [[nodiscard]] const ThinnerStats& stats() const { return stats_; }
-  [[nodiscard]] const server::EmulatedServer& server() const { return server_; }
+  // --- FrontEnd ---
+  [[nodiscard]] std::string_view name() const override { return "auction"; }
+  [[nodiscard]] const ThinnerStats& stats() const override { return stats_; }
   /// Contenders currently being tracked (paying or waiting).
-  [[nodiscard]] std::size_t contending() const { return states_.size(); }
+  [[nodiscard]] std::size_t contending() const override { return states_.size(); }
+  [[nodiscard]] Duration server_busy_good() const override {
+    return server_.good_busy_time();
+  }
+  [[nodiscard]] Duration server_busy_bad() const override {
+    return server_.bad_busy_time();
+  }
+  [[nodiscard]] Duration server_busy_total() const override { return server_.busy_time(); }
+
+  [[nodiscard]] const server::EmulatedServer& server() const { return server_; }
 
  private:
   struct RequestState {

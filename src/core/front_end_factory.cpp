@@ -1,0 +1,128 @@
+#include "core/front_end_factory.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/auction_thinner.hpp"
+#include "core/no_defense.hpp"
+#include "core/quantum_thinner.hpp"
+#include "core/retry_thinner.hpp"
+#include "util/assert.hpp"
+
+namespace speakup::core {
+
+FrontEndFactory& FrontEndFactory::instance() {
+  static FrontEndFactory factory;
+  return factory;
+}
+
+// The built-ins register here, not via SPEAKUP_REGISTER_FRONT_END: static
+// registrars in a library archive are dropped by the linker when nothing
+// else references their translation unit, and after this refactor nothing
+// outside the factory names the concrete thinners.
+FrontEndFactory::FrontEndFactory() {
+  builders_.emplace_back(
+      "auction", [](transport::Host& host, const FrontEndConfig& cfg,
+                    util::RngStream rng) -> std::unique_ptr<FrontEnd> {
+        AuctionThinner::Config tc;
+        tc.capacity_rps = cfg.capacity_rps;
+        tc.response_body = cfg.response_body;
+        tc.payment_window = cfg.payment_window;
+        tc.request_port = cfg.request_port;
+        tc.payment_port = cfg.payment_port;
+        return std::make_unique<AuctionThinner>(host, tc, std::move(rng));
+      });
+  builders_.emplace_back(
+      "retry", [](transport::Host& host, const FrontEndConfig& cfg,
+                  util::RngStream rng) -> std::unique_ptr<FrontEnd> {
+        RetryThinner::Config tc;
+        tc.capacity_rps = cfg.capacity_rps;
+        tc.response_body = cfg.response_body;
+        tc.request_port = cfg.request_port;
+        return std::make_unique<RetryThinner>(host, tc, std::move(rng));
+      });
+  builders_.emplace_back(
+      "none", [](transport::Host& host, const FrontEndConfig& cfg,
+                 util::RngStream rng) -> std::unique_ptr<FrontEnd> {
+        NoDefenseFrontEnd::Config tc;
+        tc.capacity_rps = cfg.capacity_rps;
+        tc.response_body = cfg.response_body;
+        tc.request_port = cfg.request_port;
+        return std::make_unique<NoDefenseFrontEnd>(host, tc, std::move(rng));
+      });
+  builders_.emplace_back(
+      "quantum", [](transport::Host& host, const FrontEndConfig& cfg,
+                    util::RngStream rng) -> std::unique_ptr<FrontEnd> {
+        QuantumAuctionThinner::Config tc;
+        tc.capacity_rps = cfg.capacity_rps;
+        tc.response_body = cfg.response_body;
+        tc.payment_window = cfg.payment_window;
+        tc.quantum = cfg.quantum;
+        tc.suspension_limit = cfg.suspension_limit;
+        tc.request_port = cfg.request_port;
+        tc.payment_port = cfg.payment_port;
+        return std::make_unique<QuantumAuctionThinner>(host, tc, std::move(rng));
+      });
+}
+
+void FrontEndFactory::register_defense(const std::string& name, Builder builder) {
+  util::require(!name.empty(), "front-end name must be non-empty");
+  util::require(builder != nullptr, "front-end builder must be callable");
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, unused] : builders_) {
+    (void)unused;
+    util::require(existing != name, "front end '" + name + "' is already registered");
+  }
+  builders_.emplace_back(name, std::move(builder));
+}
+
+void FrontEndFactory::unregister_defense(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(builders_, [&](const auto& entry) { return entry.first == name; });
+}
+
+bool FrontEndFactory::contains(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(builders_.begin(), builders_.end(),
+                     [&](const auto& entry) { return entry.first == name; });
+}
+
+std::vector<std::string> FrontEndFactory::names() const {
+  std::vector<std::string> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(builders_.size());
+    for (const auto& [name, unused] : builders_) {
+      (void)unused;
+      out.push_back(name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<FrontEnd> FrontEndFactory::create(std::string_view name,
+                                                  transport::Host& host,
+                                                  const FrontEndConfig& cfg,
+                                                  util::RngStream server_rng) const {
+  Builder builder;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = std::find_if(builders_.begin(), builders_.end(),
+                                 [&](const auto& entry) { return entry.first == name; });
+    if (it == builders_.end()) {
+      std::ostringstream os;
+      os << "unknown front end '" << name << "' (registered:";
+      for (const auto& [n, unused] : builders_) {
+        (void)unused;
+        os << " " << n;
+      }
+      os << ")";
+      throw std::invalid_argument(os.str());
+    }
+    builder = it->second;
+  }
+  return builder(host, cfg, std::move(server_rng));
+}
+
+}  // namespace speakup::core

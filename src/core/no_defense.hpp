@@ -11,6 +11,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "core/front_end.hpp"
 #include "core/thinner_stats.hpp"
 #include "http/message.hpp"
 #include "http/message_stream.hpp"
@@ -21,7 +22,7 @@
 
 namespace speakup::core {
 
-class NoDefenseFrontEnd {
+class NoDefenseFrontEnd : public FrontEnd {
  public:
   struct Config {
     double capacity_rps = 100.0;
@@ -31,10 +32,18 @@ class NoDefenseFrontEnd {
 
   NoDefenseFrontEnd(transport::Host& host, const Config& cfg, util::RngStream server_rng);
 
-  NoDefenseFrontEnd(const NoDefenseFrontEnd&) = delete;
-  NoDefenseFrontEnd& operator=(const NoDefenseFrontEnd&) = delete;
+  // --- FrontEnd ---
+  [[nodiscard]] std::string_view name() const override { return "none"; }
+  [[nodiscard]] const ThinnerStats& stats() const override { return stats_; }
+  [[nodiscard]] std::size_t contending() const override { return serving_.size(); }
+  [[nodiscard]] Duration server_busy_good() const override {
+    return server_.good_busy_time();
+  }
+  [[nodiscard]] Duration server_busy_bad() const override {
+    return server_.bad_busy_time();
+  }
+  [[nodiscard]] Duration server_busy_total() const override { return server_.busy_time(); }
 
-  [[nodiscard]] const ThinnerStats& stats() const { return stats_; }
   [[nodiscard]] const server::EmulatedServer& server() const { return server_; }
 
  private:

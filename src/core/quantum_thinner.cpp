@@ -181,7 +181,7 @@ void QuantumAuctionThinner::quantum_tick() {
     v->active = false;
     v->suspended = true;
     v->suspended_at = host_->loop().now();
-    ++suspensions_;
+    stats_.counters.inc("suspensions");
     give_server_to(*u);
   } else {
     // §5 step 3: v continues but has not yet paid for the next quantum.
@@ -242,7 +242,7 @@ void QuantumAuctionThinner::abort_request(std::uint64_t id) {
     st.suspended = true;
   }
   if (st.suspended) server_.abort_suspended(id);
-  ++aborts_;
+  stats_.counters.inc("aborts");
   // If the client is still there, kAborted tells it to stop paying and it
   // closes both channels itself; aborting here would kill the unsent
   // notification. If the client already abandoned the request, force-close.

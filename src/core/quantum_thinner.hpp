@@ -22,6 +22,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "core/front_end.hpp"
 #include "core/thinner_stats.hpp"
 #include "http/message.hpp"
 #include "http/message_stream.hpp"
@@ -33,7 +34,7 @@
 
 namespace speakup::core {
 
-class QuantumAuctionThinner {
+class QuantumAuctionThinner : public FrontEnd {
  public:
   struct Config {
     double capacity_rps = 100.0;  // capacity in difficulty-1 requests/s
@@ -47,13 +48,27 @@ class QuantumAuctionThinner {
 
   QuantumAuctionThinner(transport::Host& host, const Config& cfg, util::RngStream server_rng);
 
-  QuantumAuctionThinner(const QuantumAuctionThinner&) = delete;
-  QuantumAuctionThinner& operator=(const QuantumAuctionThinner&) = delete;
+  // --- FrontEnd ---
+  [[nodiscard]] std::string_view name() const override { return "quantum"; }
+  [[nodiscard]] const ThinnerStats& stats() const override { return stats_; }
+  [[nodiscard]] std::size_t contending() const override { return states_.size(); }
+  [[nodiscard]] Duration server_busy_good() const override {
+    return server_.good_busy_time();
+  }
+  [[nodiscard]] Duration server_busy_bad() const override {
+    return server_.bad_busy_time();
+  }
+  /// The interruptible server only charges classified work, so the total is
+  /// the good + bad split (neutral traffic never reaches the §5 server).
+  [[nodiscard]] Duration server_busy_total() const override {
+    return server_.good_busy_time() + server_.bad_busy_time();
+  }
 
-  [[nodiscard]] const ThinnerStats& stats() const { return stats_; }
   [[nodiscard]] const server::InterruptibleServer& server() const { return server_; }
-  [[nodiscard]] std::int64_t suspensions() const { return suspensions_; }
-  [[nodiscard]] std::int64_t aborts() const { return aborts_; }
+  [[nodiscard]] std::int64_t suspensions() const {
+    return stats_.counters.get("suspensions");
+  }
+  [[nodiscard]] std::int64_t aborts() const { return stats_.counters.get("aborts"); }
 
  private:
   struct RequestState {
@@ -97,8 +112,6 @@ class QuantumAuctionThinner {
   server::InterruptibleServer server_;
   http::SessionPool pool_;
   ThinnerStats stats_;
-  std::int64_t suspensions_ = 0;
-  std::int64_t aborts_ = 0;
   std::unordered_map<std::uint64_t, std::unique_ptr<RequestState>> states_;
   std::unordered_map<http::MessageStream*, std::uint64_t> by_stream_;
   sim::Timer quantum_timer_;

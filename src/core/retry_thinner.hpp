@@ -15,6 +15,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "core/front_end.hpp"
 #include "core/thinner_stats.hpp"
 #include "http/message.hpp"
 #include "http/message_stream.hpp"
@@ -25,7 +26,7 @@
 
 namespace speakup::core {
 
-class RetryThinner {
+class RetryThinner : public FrontEnd {
  public:
   struct Config {
     double capacity_rps = 100.0;
@@ -35,10 +36,18 @@ class RetryThinner {
 
   RetryThinner(transport::Host& host, const Config& cfg, util::RngStream server_rng);
 
-  RetryThinner(const RetryThinner&) = delete;
-  RetryThinner& operator=(const RetryThinner&) = delete;
+  // --- FrontEnd ---
+  [[nodiscard]] std::string_view name() const override { return "retry"; }
+  [[nodiscard]] const ThinnerStats& stats() const override { return stats_; }
+  [[nodiscard]] std::size_t contending() const override { return states_.size(); }
+  [[nodiscard]] Duration server_busy_good() const override {
+    return server_.good_busy_time();
+  }
+  [[nodiscard]] Duration server_busy_bad() const override {
+    return server_.bad_busy_time();
+  }
+  [[nodiscard]] Duration server_busy_total() const override { return server_.busy_time(); }
 
-  [[nodiscard]] const ThinnerStats& stats() const { return stats_; }
   [[nodiscard]] const server::EmulatedServer& server() const { return server_; }
   [[nodiscard]] std::int64_t retries_received() const { return retries_received_; }
 

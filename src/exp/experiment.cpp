@@ -1,7 +1,9 @@
 #include "exp/experiment.hpp"
 
 #include <chrono>
+#include <cstring>
 
+#include "core/front_end_factory.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -94,53 +96,15 @@ void Experiment::build() {
     proxy_ = std::make_unique<client::PaymentProxy>(*proxy_host, pc);
   }
 
-  // Front end.
-  util::RngStream server_rng(cfg_.seed, "server");
-  switch (cfg_.mode) {
-    case DefenseMode::kAuction: {
-      core::AuctionThinner::Config tc;
-      tc.capacity_rps = cfg_.capacity_rps;
-      tc.payment_window = cfg_.payment_window;
-      tc.response_body = cfg_.response_body;
-      auction_ = std::make_unique<core::AuctionThinner>(*thinner_host_, tc,
-                                                        std::move(server_rng));
-      break;
-    }
-    case DefenseMode::kRetry: {
-      core::RetryThinner::Config tc;
-      tc.capacity_rps = cfg_.capacity_rps;
-      tc.response_body = cfg_.response_body;
-      retry_ = std::make_unique<core::RetryThinner>(*thinner_host_, tc, std::move(server_rng));
-      break;
-    }
-    case DefenseMode::kNone: {
-      core::NoDefenseFrontEnd::Config tc;
-      tc.capacity_rps = cfg_.capacity_rps;
-      tc.response_body = cfg_.response_body;
-      none_ = std::make_unique<core::NoDefenseFrontEnd>(*thinner_host_, tc,
-                                                        std::move(server_rng));
-      break;
-    }
-    case DefenseMode::kQuantumAuction: {
-      core::QuantumAuctionThinner::Config tc;
-      tc.capacity_rps = cfg_.capacity_rps;
-      tc.payment_window = cfg_.payment_window;
-      tc.quantum = cfg_.quantum;
-      tc.suspension_limit = cfg_.suspension_limit;
-      tc.response_body = cfg_.response_body;
-      quantum_ = std::make_unique<core::QuantumAuctionThinner>(*thinner_host_, tc,
-                                                               std::move(server_rng));
-      break;
-    }
-  }
-}
-
-const core::ThinnerStats& Experiment::thinner_stats() const {
-  if (auction_) return auction_->stats();
-  if (retry_) return retry_->stats();
-  if (none_) return none_->stats();
-  SPEAKUP_ASSERT(quantum_ != nullptr);
-  return quantum_->stats();
+  // Front end: whatever defense the scenario names, via the registry.
+  core::FrontEndConfig fc;
+  fc.capacity_rps = cfg_.capacity_rps;
+  fc.response_body = cfg_.response_body;
+  fc.payment_window = cfg_.payment_window;
+  fc.quantum = cfg_.quantum;
+  fc.suspension_limit = cfg_.suspension_limit;
+  front_end_ = core::FrontEndFactory::instance().create(
+      cfg_.defense_name(), *thinner_host_, fc, util::RngStream(cfg_.seed, "server"));
 }
 
 ExperimentResult Experiment::run() {
@@ -148,18 +112,21 @@ ExperimentResult Experiment::run() {
   ran_ = true;
 
   const auto wall_start = std::chrono::steady_clock::now();
+  front_end_->on_run_start();
   for (auto& c : clients_) c->start();
   if (downloader_ != nullptr) {
     loop_.schedule(cfg_.collateral->start_delay, [this] { downloader_->start(); });
   }
   loop_.run_until(SimTime::zero() + cfg_.duration);
+  front_end_->on_run_end();
   const auto wall_end = std::chrono::steady_clock::now();
 
   ExperimentResult r;
+  r.defense = cfg_.defense_name();
   r.sim_duration = cfg_.duration;
   r.events_executed = loop_.executed_events();
   r.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
-  r.thinner = thinner_stats();
+  r.thinner = front_end_->stats();
   r.served_good = r.thinner.served_good;
   r.served_bad = r.thinner.served_bad;
   r.served_total = r.thinner.served_total();
@@ -167,21 +134,9 @@ ExperimentResult Experiment::run() {
   r.allocation_bad = r.thinner.allocation_bad();
 
   // Server-time split.
-  Duration good_busy = Duration::zero();
-  Duration bad_busy = Duration::zero();
-  Duration all_busy = Duration::zero();
-  if (quantum_) {
-    good_busy = quantum_->server().good_busy_time();
-    bad_busy = quantum_->server().bad_busy_time();
-    all_busy = good_busy + bad_busy;
-  } else {
-    const server::EmulatedServer& srv = auction_ ? auction_->server()
-                                      : retry_   ? retry_->server()
-                                                 : none_->server();
-    good_busy = srv.good_busy_time();
-    bad_busy = srv.bad_busy_time();
-    all_busy = srv.busy_time();
-  }
+  const Duration good_busy = front_end_->server_busy_good();
+  const Duration bad_busy = front_end_->server_busy_bad();
+  const Duration all_busy = front_end_->server_busy_total();
   if (all_busy > Duration::zero()) {
     r.server_time_good = good_busy.sec() / all_busy.sec();
     r.server_time_bad = bad_busy.sec() / all_busy.sec();
@@ -214,7 +169,94 @@ ExperimentResult Experiment::run() {
     r.collateral_latencies = downloader_->latencies();
     r.collateral_failures = downloader_->failures();
   }
+  if (proxy_ != nullptr) {
+    r.proxy_relayed_requests = proxy_->relayed_requests();
+    r.proxy_payments_started = proxy_->payments_started();
+  }
   return r;
+}
+
+namespace {
+
+void hash_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+}
+
+void hash_i64(std::uint64_t& h, std::int64_t v) {
+  hash_u64(h, static_cast<std::uint64_t>(v));
+}
+
+void hash_double(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  hash_u64(h, bits);
+}
+
+void hash_samples(std::uint64_t& h, const stats::SampleSet& s) {
+  hash_u64(h, s.count());
+  hash_double(h, s.sum());
+  if (!s.empty()) {
+    hash_double(h, s.min());
+    hash_double(h, s.max());
+  }
+}
+
+}  // namespace
+
+std::uint64_t ExperimentResult::fingerprint() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  hash_u64(h, util::fnv1a(defense));
+  hash_i64(h, served_total);
+  hash_i64(h, served_good);
+  hash_i64(h, served_bad);
+  hash_double(h, allocation_good);
+  hash_double(h, allocation_bad);
+  hash_double(h, server_time_good);
+  hash_double(h, server_time_bad);
+  hash_double(h, fraction_good_served);
+  hash_double(h, server_busy_fraction);
+  hash_i64(h, thinner.requests_received);
+  hash_i64(h, thinner.direct_admissions);
+  hash_i64(h, thinner.auctions_held);
+  hash_i64(h, thinner.channels_expired);
+  hash_i64(h, thinner.busy_rejections);
+  hash_i64(h, thinner.payment_bytes_total);
+  hash_i64(h, thinner.payment_bytes_wasted);
+  hash_samples(h, thinner.price_good);
+  hash_samples(h, thinner.price_bad);
+  hash_samples(h, thinner.payment_time_good);
+  hash_samples(h, thinner.payment_time_bad);
+  hash_samples(h, thinner.retries_good);
+  hash_samples(h, thinner.retries_bad);
+  for (const auto& [name, value] : thinner.counters.all()) {
+    hash_u64(h, util::fnv1a(name));
+    hash_i64(h, value);
+  }
+  for (const GroupResult& g : groups) {
+    hash_u64(h, util::fnv1a(g.label));
+    hash_i64(h, g.count);
+    hash_i64(h, g.totals.arrivals);
+    hash_i64(h, g.totals.started);
+    hash_i64(h, g.totals.served);
+    hash_i64(h, g.totals.denied);
+    hash_i64(h, g.totals.busy_rejected);
+    hash_i64(h, g.totals.retries_sent);
+    hash_i64(h, g.totals.payment_bytes_acked);
+    hash_samples(h, g.totals.response_time);
+    hash_double(h, g.allocation);
+    for (const std::int64_t s : g.served_per_client) hash_i64(h, s);
+  }
+  hash_samples(h, collateral_latencies);
+  hash_i64(h, collateral_failures);
+  hash_i64(h, proxy_relayed_requests);
+  hash_i64(h, proxy_payments_started);
+  hash_i64(h, sim_duration.ns());
+  hash_u64(h, events_executed);
+  return h;
 }
 
 ExperimentResult run_scenario(const ScenarioConfig& cfg) {

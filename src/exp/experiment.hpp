@@ -12,6 +12,7 @@
 #include "client/payment_proxy.hpp"
 #include "client/workload_client.hpp"
 #include "core/auction_thinner.hpp"
+#include "core/front_end.hpp"
 #include "core/no_defense.hpp"
 #include "core/quantum_thinner.hpp"
 #include "core/retry_thinner.hpp"
@@ -55,10 +56,20 @@ struct ExperimentResult {
   stats::SampleSet collateral_latencies;
   int collateral_failures = 0;
 
+  // §9 payment proxy (zero when the scenario has none).
+  std::int64_t proxy_relayed_requests = 0;
+  std::int64_t proxy_payments_started = 0;
+
   // Run metadata.
+  std::string defense;  // front-end registry name the run used
   Duration sim_duration = Duration::zero();
   std::uint64_t events_executed = 0;
-  double wall_seconds = 0.0;
+  double wall_seconds = 0.0;  // host time; the one nondeterministic field
+
+  /// FNV-1a digest of every deterministic field — two runs of the same
+  /// scenario and seed must produce equal fingerprints no matter which
+  /// thread (or process) ran them. wall_seconds is excluded.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 };
 
 class Experiment {
@@ -77,10 +88,25 @@ class Experiment {
   [[nodiscard]] sim::EventLoop& loop() { return loop_; }
   [[nodiscard]] net::Network& network() { return *net_; }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
-  [[nodiscard]] core::AuctionThinner* auction_thinner() { return auction_.get(); }
-  [[nodiscard]] core::RetryThinner* retry_thinner() { return retry_.get(); }
-  [[nodiscard]] core::NoDefenseFrontEnd* no_defense() { return none_.get(); }
-  [[nodiscard]] core::QuantumAuctionThinner* quantum_thinner() { return quantum_.get(); }
+
+  /// The defense this experiment runs, whatever its concrete type.
+  [[nodiscard]] core::FrontEnd* front_end() { return front_end_.get(); }
+
+  // Typed views for tests that poke defense internals: each is just a
+  // dynamic_cast of front_end(), null when the scenario runs another mode.
+  [[nodiscard]] core::AuctionThinner* auction_thinner() {
+    return dynamic_cast<core::AuctionThinner*>(front_end_.get());
+  }
+  [[nodiscard]] core::RetryThinner* retry_thinner() {
+    return dynamic_cast<core::RetryThinner*>(front_end_.get());
+  }
+  [[nodiscard]] core::NoDefenseFrontEnd* no_defense() {
+    return dynamic_cast<core::NoDefenseFrontEnd*>(front_end_.get());
+  }
+  [[nodiscard]] core::QuantumAuctionThinner* quantum_thinner() {
+    return dynamic_cast<core::QuantumAuctionThinner*>(front_end_.get());
+  }
+
   [[nodiscard]] const std::vector<std::unique_ptr<client::WorkloadClient>>& clients() const {
     return clients_;
   }
@@ -88,16 +114,12 @@ class Experiment {
 
  private:
   void build();
-  [[nodiscard]] const core::ThinnerStats& thinner_stats() const;
 
   ScenarioConfig cfg_;
   sim::EventLoop loop_;
   std::unique_ptr<net::Network> net_;
   transport::Host* thinner_host_ = nullptr;
-  std::unique_ptr<core::AuctionThinner> auction_;
-  std::unique_ptr<core::RetryThinner> retry_;
-  std::unique_ptr<core::NoDefenseFrontEnd> none_;
-  std::unique_ptr<core::QuantumAuctionThinner> quantum_;
+  std::unique_ptr<core::FrontEnd> front_end_;
   std::vector<std::unique_ptr<client::WorkloadClient>> clients_;
   std::vector<std::size_t> group_of_client_;  // parallel to clients_
   std::unique_ptr<client::PaymentProxy> proxy_;

@@ -1,0 +1,129 @@
+#include "exp/runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace speakup::exp {
+
+Runner& Runner::add(ScenarioConfig cfg, std::string label) {
+  util::require(!ran_, "Runner: cannot add scenarios after run_all");
+  if (label.empty()) {
+    label = cfg.defense_name() + "/" + std::to_string(jobs_.size());
+  }
+  for (const Job& j : jobs_) {
+    util::require(j.label != label, "Runner: duplicate label '" + label + "'");
+  }
+  jobs_.push_back(Job{std::move(label), std::move(cfg)});
+  return *this;
+}
+
+Runner& Runner::add_seed_sweep(ScenarioConfig base, int n_seeds, const std::string& label) {
+  util::require(n_seeds > 0, "Runner: seed sweep needs at least one seed");
+  const std::string stem = label.empty() ? base.defense_name() : label;
+  for (int k = 0; k < n_seeds; ++k) {
+    ScenarioConfig cfg = base;
+    cfg.seed = base.seed + static_cast<std::uint64_t>(k);
+    add(std::move(cfg), stem + "/seed" + std::to_string(cfg.seed));
+  }
+  return *this;
+}
+
+Runner& Runner::sweep_good_fraction(int total_clients, const std::vector<int>& good_counts,
+                                    double capacity_rps, DefenseMode mode,
+                                    Duration duration, std::uint64_t seed,
+                                    const std::string& label) {
+  const std::string stem = label.empty() ? to_string(mode) : label;
+  for (const int good : good_counts) {
+    util::require(good >= 0 && good <= total_clients,
+                  "Runner: good count outside [0, total_clients]");
+    ScenarioConfig cfg =
+        lan_scenario(good, total_clients - good, capacity_rps, mode, seed);
+    cfg.duration = duration;
+    add(std::move(cfg), stem + "/g" + std::to_string(good));
+  }
+  return *this;
+}
+
+const std::vector<RunOutcome>& Runner::run_all(int n_threads) {
+  util::require(!ran_, "Runner::run_all is callable once");
+  ran_ = true;
+  if (n_threads <= 0) {
+    n_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (n_threads <= 0) n_threads = 1;
+  }
+  n_threads = std::min<int>(n_threads, static_cast<int>(jobs_.size()));
+  outcomes_.resize(jobs_.size());
+
+  // Scenarios are independent (own event loop, seed-derived RNG streams),
+  // so a shared work queue is enough; outcomes land at their job's index,
+  // which keeps result order — and results themselves — identical to a
+  // serial run.
+  std::atomic<std::size_t> next{0};
+  auto worker = [this, &next] {
+    for (std::size_t i = next.fetch_add(1); i < jobs_.size(); i = next.fetch_add(1)) {
+      RunOutcome& out = outcomes_[i];
+      out.label = jobs_[i].label;
+      out.config = jobs_[i].config;
+      try {
+        out.result = run_scenario(jobs_[i].config);
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      } catch (...) {
+        out.error = "unknown exception";
+      }
+    }
+  };
+
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(n_threads));
+    for (int t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return outcomes_;
+}
+
+const std::vector<RunOutcome>& Runner::outcomes() const {
+  util::require(ran_, "Runner: call run_all first");
+  return outcomes_;
+}
+
+const RunOutcome& Runner::outcome(std::string_view label) const {
+  util::require(ran_, "Runner: call run_all first");
+  for (const RunOutcome& o : outcomes_) {
+    if (o.label == label) return o;
+  }
+  throw std::invalid_argument("Runner: no scenario labeled '" + std::string(label) + "'");
+}
+
+const ExperimentResult& Runner::result(std::string_view label) const {
+  const RunOutcome& o = outcome(label);
+  util::require(o.ok(), "Runner: scenario '" + o.label + "' failed: " + o.error);
+  return o.result;
+}
+
+stats::Table Runner::summary_table() const {
+  util::require(ran_, "Runner: call run_all first");
+  stats::Table table({"label", "defense", "served", "alloc(good)", "alloc(bad)",
+                      "frac-good-served", "sim-s", "wall-s"});
+  for (const RunOutcome& o : outcomes_) {
+    table.row().add(o.label).add(o.config.defense_name());
+    if (o.ok()) {
+      table.add(o.result.served_total)
+          .add(o.result.allocation_good, 3)
+          .add(o.result.allocation_bad, 3)
+          .add(o.result.fraction_good_served, 3)
+          .add(o.result.sim_duration.sec(), 1)
+          .add(o.result.wall_seconds, 2);
+    } else {
+      table.add("FAILED: " + o.error);
+    }
+  }
+  return table;
+}
+
+}  // namespace speakup::exp

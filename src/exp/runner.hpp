@@ -1,0 +1,81 @@
+// Batch experiment runner: the one sweep loop everything shares.
+//
+// Every figure and table in the paper is a sweep — over the good-bandwidth
+// fraction, the capacity, the POST size, the defense mode. Runner collects
+// labeled ScenarioConfigs, executes them on a thread pool (scenarios are
+// fully independent: each Experiment owns its event loop and every RNG
+// stream derives from the scenario seed), and returns results in insertion
+// order regardless of the thread schedule, so parallel runs are
+// bit-identical to serial ones.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
+#include "stats/table.hpp"
+
+namespace speakup::exp {
+
+struct RunOutcome {
+  std::string label;
+  ScenarioConfig config;
+  ExperimentResult result;
+  std::string error;  // non-empty when the scenario threw
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+class Runner {
+ public:
+  Runner() = default;
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  /// Queues one scenario. An empty label defaults to "<defense>/<index>".
+  /// Labels must be unique (result() looks them up).
+  Runner& add(ScenarioConfig cfg, std::string label = "");
+
+  /// Queues `n_seeds` copies of `base` with seeds base.seed .. base.seed +
+  /// n_seeds - 1, labeled "<label>/seed<k>".
+  Runner& add_seed_sweep(ScenarioConfig base, int n_seeds, const std::string& label = "");
+
+  /// Grid helper for the paper's staple x-axis (Figure 2): for each g in
+  /// `good_counts`, queues lan_scenario(g, total_clients - g, ...) labeled
+  /// "<label>/g<g>" (empty label -> the defense name; pass distinct labels
+  /// to sweep the same mode twice on one Runner).
+  Runner& sweep_good_fraction(int total_clients, const std::vector<int>& good_counts,
+                              double capacity_rps, DefenseMode mode, Duration duration,
+                              std::uint64_t seed = 1, const std::string& label = "");
+
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+
+  /// Runs every queued scenario and returns the outcomes in insertion
+  /// order. `n_threads` <= 0 means hardware concurrency. Callable once.
+  const std::vector<RunOutcome>& run_all(int n_threads = 0);
+
+  /// Outcomes of the completed run (run_all must have been called).
+  [[nodiscard]] const std::vector<RunOutcome>& outcomes() const;
+  [[nodiscard]] const RunOutcome& outcome(std::string_view label) const;
+  /// Shorthand for outcome(label).result; throws if that scenario failed.
+  [[nodiscard]] const ExperimentResult& result(std::string_view label) const;
+
+  /// One row per outcome: label, defense, served counts, allocations, the
+  /// fraction-served metric, and run metadata.
+  [[nodiscard]] stats::Table summary_table() const;
+
+ private:
+  struct Job {
+    std::string label;
+    ScenarioConfig config;
+  };
+
+  std::vector<Job> jobs_;
+  std::vector<RunOutcome> outcomes_;
+  bool ran_ = false;
+};
+
+}  // namespace speakup::exp

@@ -6,6 +6,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "client/workload_client.hpp"
@@ -20,6 +21,16 @@ enum class DefenseMode {
   kQuantumAuction,  // §5 heterogeneous requests
 };
 
+/// Every built-in mode, in declaration order (exhaustiveness checks, CLI
+/// help, factory tests).
+inline constexpr DefenseMode kAllDefenseModes[] = {
+    DefenseMode::kNone,
+    DefenseMode::kAuction,
+    DefenseMode::kRetry,
+    DefenseMode::kQuantumAuction,
+};
+
+/// The mode's canonical name — also its core::FrontEndFactory registry key.
 [[nodiscard]] inline const char* to_string(DefenseMode m) {
   switch (m) {
     case DefenseMode::kNone: return "none";
@@ -28,6 +39,17 @@ enum class DefenseMode {
     case DefenseMode::kQuantumAuction: return "quantum";
   }
   return "?";
+}
+
+/// Round-trip of to_string, for CLI flags and config files:
+/// parse_defense_mode(to_string(m)) == m for every mode; unknown names give
+/// nullopt (the caller may still be naming a registered non-built-in
+/// defense — see ScenarioConfig::defense).
+[[nodiscard]] inline std::optional<DefenseMode> parse_defense_mode(std::string_view s) {
+  for (const DefenseMode m : kAllDefenseModes) {
+    if (s == to_string(m)) return m;
+  }
+  return std::nullopt;
 }
 
 /// A homogeneous population of clients.
@@ -72,6 +94,10 @@ struct CollateralSpec {
 
 struct ScenarioConfig {
   DefenseMode mode = DefenseMode::kAuction;
+  /// Factory override: when non-empty, the experiment asks
+  /// core::FrontEndFactory for this name instead of to_string(mode) —
+  /// that is how scenarios run defenses that are not built-in modes.
+  std::string defense;
   double capacity_rps = 100.0;
   Duration duration = Duration::seconds(60.0);
   std::uint64_t seed = 1;
@@ -90,6 +116,11 @@ struct ScenarioConfig {
   Bandwidth thinner_bw = Bandwidth::gbps(10.0);
   Duration thinner_delay = Duration::micros(500);
   Bytes thinner_queue = 4'000'000;
+
+  /// The front-end registry key this scenario runs.
+  [[nodiscard]] std::string defense_name() const {
+    return defense.empty() ? to_string(mode) : defense;
+  }
 };
 
 /// Paper-default LAN scenario (§7.2): `good` + `bad` clients, each with

@@ -31,6 +31,18 @@ TEST(Scenario, ModeNames) {
   EXPECT_STREQ(to_string(DefenseMode::kAuction), "auction");
   EXPECT_STREQ(to_string(DefenseMode::kRetry), "retry");
   EXPECT_STREQ(to_string(DefenseMode::kQuantumAuction), "quantum");
+  // Round trip, exhaustively (parse_defense_mode is the factory/CLI path).
+  for (const DefenseMode m : kAllDefenseModes) {
+    ASSERT_EQ(parse_defense_mode(to_string(m)), m);
+  }
+}
+
+TEST(Scenario, DefenseNameDefaultsToModeAndCanBeOverridden) {
+  ScenarioConfig cfg;
+  cfg.mode = DefenseMode::kRetry;
+  EXPECT_EQ(cfg.defense_name(), "retry");
+  cfg.defense = "custom";
+  EXPECT_EQ(cfg.defense_name(), "custom");
 }
 
 TEST(Experiment, RejectsInvalidConfig) {
@@ -52,15 +64,23 @@ TEST(Experiment, RunIsCallableOnce) {
 }
 
 TEST(Experiment, ExposesSelectedThinner) {
+  // One polymorphic front end per experiment; the typed accessors are
+  // dynamic_cast views of it.
   Experiment a(small_lan(DefenseMode::kAuction));
+  ASSERT_NE(a.front_end(), nullptr);
+  EXPECT_EQ(a.front_end()->name(), "auction");
   EXPECT_NE(a.auction_thinner(), nullptr);
+  EXPECT_EQ(static_cast<core::FrontEnd*>(a.auction_thinner()), a.front_end());
   EXPECT_EQ(a.retry_thinner(), nullptr);
   Experiment r(small_lan(DefenseMode::kRetry));
   EXPECT_NE(r.retry_thinner(), nullptr);
+  EXPECT_EQ(r.front_end()->name(), "retry");
   Experiment n(small_lan(DefenseMode::kNone));
   EXPECT_NE(n.no_defense(), nullptr);
+  EXPECT_EQ(n.front_end()->name(), "none");
   Experiment q(small_lan(DefenseMode::kQuantumAuction));
   EXPECT_NE(q.quantum_thinner(), nullptr);
+  EXPECT_EQ(q.front_end()->name(), "quantum");
 }
 
 TEST(Experiment, DeterministicAcrossRuns) {
