@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
 #include "util/units.hpp"
 
 namespace speakup::bench {
@@ -51,6 +52,39 @@ inline const std::vector<exp::RunOutcome>& run_all(exp::Runner& runner) {
     }
   }
   return outcomes;
+}
+
+/// Locates a checked-in scenario file (scenarios/<name> in the source tree;
+/// $SPEAKUP_SCENARIO_DIR overrides, e.g. for running from an install).
+inline std::string scenario_path(const std::string& name) {
+  if (const char* env = std::getenv("SPEAKUP_SCENARIO_DIR")) {
+    return std::string(env) + "/" + name;
+  }
+#ifdef SPEAKUP_SCENARIO_DIR
+  return std::string(SPEAKUP_SCENARIO_DIR) + "/" + name;
+#else
+  return "scenarios/" + name;
+#endif
+}
+
+/// Loads a checked-in scenario file; a parse failure is fatal (the grids
+/// under scenarios/ are part of the bench suite).
+inline exp::ScenarioFile load_scenarios(const std::string& name) {
+  try {
+    return exp::load_scenario_file(scenario_path(name));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
+  }
+}
+
+/// SPEAKUP_FULL=1: stretch every scenario in the file to the paper's 600 s
+/// (scenario files carry the quick durations).
+inline void apply_full_duration(exp::ScenarioFile& file) {
+  if (!full_mode()) return;
+  for (exp::LabeledScenario& s : file.scenarios) {
+    s.config.duration = Duration::seconds(600.0);
+  }
 }
 
 inline void print_banner(const char* figure, const char* description) {

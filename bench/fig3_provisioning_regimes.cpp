@@ -2,12 +2,17 @@
 // good requests served, without ("OFF") and with ("ON") speak-up, for
 // c = 50, 100, 200 requests/s. G = B = 50 Mbit/s (25 good + 25 bad clients,
 // 2 Mbit/s each); c_id = 100.
+//
+// The grid lives in scenarios/fig3.json — the same file `speakup run`
+// executes — so the bench and the CLI reproduce identical numbers.
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "core/theory.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -18,28 +23,33 @@ int main() {
       "for c = 50 and 100 the ON allocation is roughly proportional to aggregate "
       "bandwidths (~0.5/0.5); for c = 200 all good requests are served");
 
-  const double kCapacities[] = {50.0, 100.0, 200.0};
-  const exp::DefenseMode kModes[] = {exp::DefenseMode::kNone, exp::DefenseMode::kAuction};
+  const char* kDefenses[] = {"none", "auction"};
 
-  exp::Runner runner;
-  for (const double c : kCapacities) {
-    for (const exp::DefenseMode mode : kModes) {
-      exp::ScenarioConfig cfg = exp::lan_scenario(25, 25, c, mode, /*seed=*/22);
-      cfg.duration = bench::experiment_duration();
-      runner.add(cfg, std::string(to_string(mode)) + "/c" + std::to_string(int(c)));
+  exp::ScenarioFile file = bench::load_scenarios("fig3.json");
+  bench::apply_full_duration(file);
+
+  // The capacity axis comes from the file (one value per "none" scenario),
+  // so editing the JSON grid never leaves this report stale.
+  std::vector<int> capacities;
+  for (const exp::LabeledScenario& s : file.scenarios) {
+    if (s.config.defense_name() == "none") {
+      capacities.push_back(static_cast<int>(s.config.capacity_rps));
     }
   }
+
+  exp::Runner runner;
+  file.queue_on(runner);
   bench::run_all(runner);
 
   stats::Table table({"capacity", "defense", "alloc(good)", "alloc(bad)",
                       "frac-good-served", "ideal-alloc(good)"});
-  for (const double c : kCapacities) {
-    for (const exp::DefenseMode mode : kModes) {
+  for (const int c : capacities) {
+    for (const char* defense : kDefenses) {
       const exp::ExperimentResult& r =
-          runner.result(std::string(to_string(mode)) + "/c" + std::to_string(int(c)));
+          runner.result(std::string(defense) + "/c" + std::to_string(c));
       table.row()
           .add(static_cast<std::int64_t>(c))
-          .add(mode == exp::DefenseMode::kNone ? "OFF" : "ON")
+          .add(std::string(defense) == "none" ? "OFF" : "ON")
           .add(r.allocation_good, 3)
           .add(r.allocation_bad, 3)
           .add(r.fraction_good_served, 3)

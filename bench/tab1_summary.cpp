@@ -9,7 +9,9 @@
 //      (§7.6, §7.7).
 //
 // Each row below is a quick re-measurement; the per-figure binaries carry
-// the detailed versions. All scenario rows run on one Runner pool up front.
+// the detailed versions. The scenario rows (1, 2, 4) load their grid from
+// scenarios/tab1.json — the same file `speakup run` executes — and run on
+// one Runner pool up front.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -18,51 +20,22 @@
 #include "core/auction_thinner.hpp"
 #include "core/theory.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
 
 namespace {
 
 using namespace speakup;
 
-const double kRow2Capacities[] = {110.0, 125.0, 140.0, 155.0};
-
 void queue_scenarios(exp::Runner& runner) {
-  // Row 1: proportional allocation at f = 0.5 (G = B).
-  exp::ScenarioConfig r1 =
-      exp::lan_scenario(25, 25, 100.0, exp::DefenseMode::kAuction, /*seed=*/41);
-  r1.duration = bench::experiment_duration();
-  runner.add(r1, "row1");
-
-  // Row 2: provisioning sweep above the ideal.
-  for (const double c : kRow2Capacities) {
-    exp::ScenarioConfig cfg =
-        exp::lan_scenario(25, 25, c, exp::DefenseMode::kAuction, /*seed=*/41);
-    cfg.duration = bench::experiment_duration(120.0);
-    runner.add(cfg, "row2/c" + std::to_string(int(c)));
-  }
-
-  // Row 4: crowding on a bottleneck (mini Figure 9).
-  for (const bool with_speakup : {false, true}) {
-    exp::ScenarioConfig cfg;
-    cfg.mode = exp::DefenseMode::kAuction;
-    cfg.capacity_rps = 2.0;
-    cfg.seed = 41;
-    cfg.duration = Duration::seconds(90.0);
-    cfg.bottleneck =
-        exp::BottleneckSpec{Bandwidth::mbps(1.0), Duration::millis(100), 100'000};
-    if (with_speakup) {
-      exp::ClientGroupSpec g;
-      g.label = "speakup";
-      g.count = 10;
-      g.workload = client::good_client_params();
-      g.behind_bottleneck = true;
-      cfg.groups.push_back(g);
+  exp::ScenarioFile file = bench::load_scenarios("tab1.json");
+  if (bench::full_mode()) {
+    // Rows 1 and 2 stretch to the paper's 600 s; row 4's bottleneck
+    // scenarios keep their fixed 90 s window.
+    for (exp::LabeledScenario& s : file.scenarios) {
+      if (s.label.rfind("row4", 0) != 0) s.config.duration = Duration::seconds(600.0);
     }
-    exp::CollateralSpec col;
-    col.file_size = kilobytes(8);
-    col.downloads = 20;
-    cfg.collateral = col;
-    runner.add(cfg, with_speakup ? "row4/on" : "row4/off");
   }
+  file.queue_on(runner);
 }
 
 void row1(const exp::Runner& runner) {
@@ -73,11 +46,13 @@ void row1(const exp::Runner& runner) {
 }
 
 void row2(const exp::Runner& runner) {
+  // The capacity sweep comes from scenarios/tab1.json ("row2/*" labels, in
+  // file order), so editing the JSON grid never leaves this report stale.
   double satisfied_at = -1;
-  for (const double c : kRow2Capacities) {
-    const exp::ExperimentResult& r = runner.result("row2/c" + std::to_string(int(c)));
-    if (r.fraction_good_served >= 0.99) {
-      satisfied_at = c;
+  for (const exp::RunOutcome& o : runner.outcomes()) {
+    if (o.label.rfind("row2/", 0) != 0) continue;
+    if (o.result.fraction_good_served >= 0.99) {
+      satisfied_at = o.config.capacity_rps;
       break;
     }
   }

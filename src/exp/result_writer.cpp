@@ -1,0 +1,198 @@
+#include "exp/result_writer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace speakup::exp {
+
+namespace json = util::json;
+
+namespace {
+
+/// RFC-4180 quoting for commas/quotes — but newlines are replaced with a
+/// space first: merge_csv (and most CSV tooling) works line-by-line, so a
+/// row must never span lines even when a label or error message contains
+/// '\n'.
+std::string csv_escape(const std::string& field) {
+  std::string flat = field;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  if (flat.find_first_of(",\"") == std::string::npos) return flat;
+  std::string out = "\"";
+  for (const char c : flat) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+std::string fmt(double v) { return json::number_to_string(v); }
+
+}  // namespace
+
+const std::string& ResultWriter::csv_header() {
+  static const std::string header =
+      "index,label,defense,seed,capacity_rps,duration_s,"
+      "served_total,served_good,served_bad,"
+      "allocation_good,allocation_bad,server_time_good,server_time_bad,"
+      "fraction_good_served,server_busy_fraction,events_executed,"
+      "fingerprint,error";
+  return header;
+}
+
+std::string ResultWriter::csv_row(std::size_t index, const RunOutcome& o) {
+  std::ostringstream os;
+  os << index << ',' << csv_escape(o.label) << ','
+     << csv_escape(o.config.defense_name()) << ',' << o.config.seed << ','
+     << fmt(o.config.capacity_rps) << ',' << fmt(o.config.duration.sec()) << ',';
+  if (o.ok()) {
+    const ExperimentResult& r = o.result;
+    os << r.served_total << ',' << r.served_good << ',' << r.served_bad << ','
+       << fmt(r.allocation_good) << ',' << fmt(r.allocation_bad) << ','
+       << fmt(r.server_time_good) << ',' << fmt(r.server_time_bad) << ','
+       << fmt(r.fraction_good_served) << ',' << fmt(r.server_busy_fraction) << ','
+       << r.events_executed << ',' << fingerprint_hex(r.fingerprint()) << ',';
+  } else {
+    // 11 empty metric/fingerprint columns, then the error column.
+    os << ",,,,,,,,,,," << csv_escape(o.error);
+  }
+  return os.str();
+}
+
+void ResultWriter::add(std::size_t index, const RunOutcome& outcome) {
+  for (const Row& r : rows_) {
+    if (r.index == index) {
+      throw std::invalid_argument("ResultWriter: duplicate scenario index " +
+                                  std::to_string(index));
+    }
+  }
+  rows_.push_back(Row{index, outcome});
+}
+
+void ResultWriter::write_csv(std::ostream& os) const {
+  std::vector<const Row*> sorted;
+  sorted.reserve(rows_.size());
+  for (const Row& r : rows_) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Row* a, const Row* b) { return a->index < b->index; });
+  os << csv_header() << '\n';
+  for (const Row* r : sorted) os << csv_row(r->index, r->outcome) << '\n';
+}
+
+void ResultWriter::write_json(std::ostream& os) const {
+  std::vector<const Row*> sorted;
+  sorted.reserve(rows_.size());
+  for (const Row& r : rows_) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Row* a, const Row* b) { return a->index < b->index; });
+
+  json::Value results{json::Value::Array{}};
+  for (const Row* row : sorted) {
+    const RunOutcome& o = row->outcome;
+    json::Value entry;
+    entry.set("index", static_cast<double>(row->index));
+    entry.set("label", o.label);
+    entry.set("defense", o.config.defense_name());
+    entry.set("seed", static_cast<double>(o.config.seed));
+    entry.set("capacity_rps", o.config.capacity_rps);
+    entry.set("duration_s", o.config.duration.sec());
+    if (!o.ok()) {
+      entry.set("error", o.error);
+      results.push_back(std::move(entry));
+      continue;
+    }
+    const ExperimentResult& r = o.result;
+    json::Value metrics;
+    metrics.set("served_total", static_cast<double>(r.served_total));
+    metrics.set("served_good", static_cast<double>(r.served_good));
+    metrics.set("served_bad", static_cast<double>(r.served_bad));
+    metrics.set("allocation_good", r.allocation_good);
+    metrics.set("allocation_bad", r.allocation_bad);
+    metrics.set("server_time_good", r.server_time_good);
+    metrics.set("server_time_bad", r.server_time_bad);
+    metrics.set("fraction_good_served", r.fraction_good_served);
+    metrics.set("server_busy_fraction", r.server_busy_fraction);
+    metrics.set("events_executed", static_cast<double>(r.events_executed));
+    entry.set("metrics", std::move(metrics));
+    json::Value groups{json::Value::Array{}};
+    for (const GroupResult& g : r.groups) {
+      json::Value gv;
+      gv.set("label", g.label);
+      gv.set("count", g.count);
+      gv.set("served", static_cast<double>(g.totals.served));
+      gv.set("denied", static_cast<double>(g.totals.denied));
+      gv.set("allocation", g.allocation);
+      groups.push_back(std::move(gv));
+    }
+    entry.set("groups", std::move(groups));
+    entry.set("fingerprint", fingerprint_hex(r.fingerprint()));
+    // Host wall time: the one nondeterministic field, excluded from the
+    // fingerprint and from the CSV form.
+    entry.set("wall_seconds", r.wall_seconds);
+    results.push_back(std::move(entry));
+  }
+  json::Value doc;
+  doc.set("result_count", static_cast<double>(rows_.size()));
+  doc.set("results", std::move(results));
+  os << doc.dump(2) << '\n';
+}
+
+std::string ResultWriter::merge_csv(const std::vector<std::string>& shards) {
+  if (shards.empty()) throw std::invalid_argument("merge_csv: no inputs");
+  struct Line {
+    std::size_t index;
+    std::string text;
+  };
+  std::vector<Line> lines;
+  for (std::size_t si = 0; si < shards.size(); ++si) {
+    std::istringstream in(shards[si]);
+    std::string line;
+    if (!std::getline(in, line) || line != csv_header()) {
+      throw std::invalid_argument("merge_csv: input " + std::to_string(si) +
+                                  " does not start with the speakup CSV header");
+    }
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::size_t pos = 0;
+      std::size_t index = 0;
+      while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+        index = index * 10 + static_cast<std::size_t>(line[pos] - '0');
+        ++pos;
+      }
+      if (pos == 0 || pos >= line.size() || line[pos] != ',') {
+        throw std::invalid_argument("merge_csv: input " + std::to_string(si) +
+                                    " has a row without a leading index: " + line);
+      }
+      lines.push_back(Line{index, line});
+    }
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const Line& a, const Line& b) { return a.index < b.index; });
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].index == lines[i - 1].index) {
+      throw std::invalid_argument("merge_csv: scenario index " +
+                                  std::to_string(lines[i].index) +
+                                  " appears in more than one input");
+    }
+  }
+  std::string out = csv_header() + "\n";
+  for (const Line& l : lines) {
+    out += l.text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace speakup::exp

@@ -1,0 +1,62 @@
+// Result persistence: serialize Runner outcomes to CSV and JSON so sweeps
+// are diffable across PRs and mergeable across processes.
+//
+// Every row carries the scenario's global expansion index (its coordinate
+// in the scenario file) and the deterministic ExperimentResult::fingerprint.
+// Rows are written sorted by index and every field except none is
+// deterministic (wall_seconds is deliberately excluded from CSV), so
+//
+//   run --shard 0/2 + run --shard 1/2 + merge  ==  run unsharded
+//
+// byte for byte. That identity is the contract `speakup merge` relies on
+// and result_writer_test.cpp enforces; it is the first concrete step of
+// ROADMAP's "scale the Runner past one process" item.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace speakup::exp {
+
+class ResultWriter {
+ public:
+  /// The CSV header row (no newline). Stable: downstream tooling and
+  /// sharded merges key on it.
+  [[nodiscard]] static const std::string& csv_header();
+
+  /// One outcome as its CSV row (no newline). Deterministic for a given
+  /// scenario + seed: doubles use shortest-round-trip formatting, the
+  /// fingerprint is fixed-width hex, and wall time is excluded. A failed
+  /// outcome leaves the metric columns empty and fills `error`.
+  [[nodiscard]] static std::string csv_row(std::size_t index, const RunOutcome& o);
+
+  /// Records one outcome under its global scenario index.
+  void add(std::size_t index, const RunOutcome& outcome);
+
+  /// All recorded outcomes as CSV / JSON, sorted by index. The JSON form
+  /// additionally carries per-group breakdowns and wall_seconds (documented
+  /// as the one nondeterministic field).
+  void write_csv(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// Merges sharded CSV outputs (each produced by write_csv) into the
+  /// byte-identical unsharded file: headers must match, indices must not
+  /// collide, rows come out sorted by index. Throws std::invalid_argument
+  /// on malformed or overlapping inputs.
+  [[nodiscard]] static std::string merge_csv(const std::vector<std::string>& shards);
+
+ private:
+  struct Row {
+    std::size_t index;
+    RunOutcome outcome;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace speakup::exp

@@ -41,10 +41,13 @@ inline constexpr DefenseMode kAllDefenseModes[] = {
   return "?";
 }
 
-/// Round-trip of to_string, for CLI flags and config files:
-/// parse_defense_mode(to_string(m)) == m for every mode; unknown names give
-/// nullopt (the caller may still be naming a registered non-built-in
-/// defense — see ScenarioConfig::defense).
+/// Round-trip of to_string: parse_defense_mode(to_string(m)) == m for every
+/// mode; unknown names give nullopt (the caller may still be naming a
+/// registered non-built-in defense — see ScenarioConfig::defense). Config
+/// files and CLI paths must NOT treat nullopt as "use the default": resolve
+/// user-supplied names with exp::resolve_defense_name (scenario_io.hpp),
+/// which validates against the FrontEndFactory registry and throws listing
+/// every registered defense, so a typo fails loudly.
 [[nodiscard]] inline std::optional<DefenseMode> parse_defense_mode(std::string_view s) {
   for (const DefenseMode m : kAllDefenseModes) {
     if (s == to_string(m)) return m;

@@ -1,0 +1,600 @@
+#include "exp/scenario_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/front_end_factory.hpp"
+#include "util/json.hpp"
+
+namespace speakup::exp {
+
+namespace json = util::json;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& ctx, const std::string& what) {
+  throw ScenarioError(ctx + ": " + what);
+}
+
+[[noreturn]] void wrong_type(const std::string& ctx, const char* wanted,
+                             const json::Value& v) {
+  fail(ctx, std::string("expected ") + wanted + ", got " + json::type_name(v.type()));
+}
+
+double num_of(const json::Value& v, const std::string& ctx) {
+  if (!v.is_number()) wrong_type(ctx, "number", v);
+  return v.as_number();
+}
+
+double positive_num(const json::Value& v, const std::string& ctx) {
+  const double d = num_of(v, ctx);
+  if (d <= 0) fail(ctx, "must be > 0 (got " + json::number_to_string(d) + ")");
+  return d;
+}
+
+double nonneg_num(const json::Value& v, const std::string& ctx) {
+  const double d = num_of(v, ctx);
+  if (d < 0) fail(ctx, "must be >= 0 (got " + json::number_to_string(d) + ")");
+  return d;
+}
+
+std::int64_t int_of(const json::Value& v, const std::string& ctx) {
+  if (!v.is_number()) wrong_type(ctx, "integer", v);
+  try {
+    return v.as_int();
+  } catch (const json::Error&) {
+    fail(ctx, "must be an integer (got " + json::number_to_string(v.as_number()) + ")");
+  }
+}
+
+std::int64_t nonneg_int(const json::Value& v, const std::string& ctx) {
+  const std::int64_t i = int_of(v, ctx);
+  if (i < 0) fail(ctx, "must be >= 0 (got " + std::to_string(i) + ")");
+  return i;
+}
+
+std::int64_t positive_int(const json::Value& v, const std::string& ctx) {
+  const std::int64_t i = int_of(v, ctx);
+  if (i <= 0) fail(ctx, "must be > 0 (got " + std::to_string(i) + ")");
+  return i;
+}
+
+const std::string& str_of(const json::Value& v, const std::string& ctx) {
+  if (!v.is_string()) wrong_type(ctx, "string", v);
+  return v.as_string();
+}
+
+bool bool_of(const json::Value& v, const std::string& ctx) {
+  if (!v.is_bool()) wrong_type(ctx, "bool", v);
+  return v.as_bool();
+}
+
+const json::Value::Object& obj_of(const json::Value& v, const std::string& ctx) {
+  if (!v.is_object()) wrong_type(ctx, "object", v);
+  return v.as_object();
+}
+
+const json::Value::Array& arr_of(const json::Value& v, const std::string& ctx) {
+  if (!v.is_array()) wrong_type(ctx, "array", v);
+  return v.as_array();
+}
+
+bool is_scalar(const json::Value& v) {
+  return v.is_string() || v.is_number() || v.is_bool();
+}
+
+std::string scalar_to_string(const json::Value& v) {
+  if (v.is_string()) return v.as_string();
+  if (v.is_number()) return json::number_to_string(v.as_number());
+  if (v.is_bool()) return v.as_bool() ? "true" : "false";
+  return v.dump();
+}
+
+// ---------------------------------------------------------------------------
+// Dotted-path access into a scenario JSON object ("lan.good",
+// "bottleneck.rate_mbps") — the address space of grid axes and label
+// placeholders.
+// ---------------------------------------------------------------------------
+
+const json::Value* get_path(const json::Value& root, std::string_view path) {
+  const json::Value* cur = &root;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = path.find('.', start);
+    const std::string_view seg =
+        path.substr(start, dot == std::string_view::npos ? dot : dot - start);
+    cur = cur->find(seg);
+    if (cur == nullptr || dot == std::string_view::npos) return cur;
+    start = dot + 1;
+  }
+}
+
+void set_path(json::Value& root, std::string_view path, const json::Value& v,
+              const std::string& ctx) {
+  json::Value* cur = &root;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = path.find('.', start);
+    const std::string seg(
+        path.substr(start, dot == std::string_view::npos ? dot : dot - start));
+    if (seg.empty()) fail(ctx, "bad grid axis path \"" + std::string(path) + "\"");
+    if (dot == std::string_view::npos) {
+      cur->set(seg, v);
+      return;
+    }
+    json::Value* child = cur->find(seg);
+    if (child == nullptr) {
+      cur->set(seg, json::Value(json::Value::Object{}));
+      child = cur->find(seg);
+    }
+    if (!child->is_object()) {
+      fail(ctx, "grid axis \"" + std::string(path) + "\": \"" + seg +
+                    "\" is not an object");
+    }
+    cur = child;
+    start = dot + 1;
+  }
+}
+
+/// Deep merge: `over` wins; nested objects merge key-wise.
+json::Value merge(const json::Value& base, const json::Value& over) {
+  if (!base.is_object() || !over.is_object()) return over;
+  json::Value out = base;
+  for (const auto& [k, v] : over.as_object()) {
+    const json::Value* b = out.find(k);
+    out.set(k, (b != nullptr && b->is_object() && v.is_object()) ? merge(*b, v) : v);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON -> ScenarioConfig.
+// ---------------------------------------------------------------------------
+
+client::WorkloadParams workload_preset(const std::string& name, const std::string& ctx) {
+  if (name == "good") return client::good_client_params();
+  if (name == "bad") return client::bad_client_params();
+  fail(ctx, "unknown workload preset \"" + name + "\" (expected \"good\" or \"bad\")");
+}
+
+http::ClientClass client_class(const std::string& name, const std::string& ctx) {
+  if (name == "good") return http::ClientClass::kGood;
+  if (name == "bad") return http::ClientClass::kBad;
+  if (name == "neutral") return http::ClientClass::kNeutral;
+  fail(ctx, "unknown client class \"" + name +
+                "\" (expected \"good\", \"bad\", or \"neutral\")");
+}
+
+client::WorkloadParams workload_from_json(const json::Value& v, const std::string& ctx) {
+  if (v.is_string()) return workload_preset(v.as_string(), ctx);
+  obj_of(v, ctx);
+  // The preset (default "good") seeds every field; explicit keys override.
+  client::WorkloadParams p = client::good_client_params();
+  if (const json::Value* preset = v.find("preset")) {
+    p = workload_preset(str_of(*preset, ctx + ".preset"), ctx + ".preset");
+  }
+  for (const auto& [key, val] : v.as_object()) {
+    const std::string kctx = ctx + "." + key;
+    if (key == "preset") {
+      // handled above
+    } else if (key == "lambda") {
+      p.lambda = positive_num(val, kctx);
+    } else if (key == "window") {
+      p.window = static_cast<int>(positive_int(val, kctx));
+    } else if (key == "class") {
+      p.cls = client_class(str_of(val, kctx), kctx);
+    } else if (key == "difficulty") {
+      p.difficulty = static_cast<int>(positive_int(val, kctx));
+    } else if (key == "post_size_bytes") {
+      p.post_size = nonneg_int(val, kctx);
+    } else if (key == "request_timeout_s") {
+      p.request_timeout = Duration::seconds(positive_num(val, kctx));
+    } else if (key == "backlog_timeout_s") {
+      p.backlog_timeout = Duration::seconds(positive_num(val, kctx));
+    } else if (key == "retry_pipeline") {
+      p.retry_pipeline = static_cast<int>(positive_int(val, kctx));
+    } else {
+      fail(ctx, "unknown key \"" + key + "\"");
+    }
+  }
+  return p;
+}
+
+ClientGroupSpec group_from_json(const json::Value& v, const std::string& ctx) {
+  obj_of(v, ctx);
+  ClientGroupSpec g;
+  bool have_count = false;
+  for (const auto& [key, val] : v.as_object()) {
+    const std::string kctx = ctx + "." + key;
+    if (key == "label") {
+      g.label = str_of(val, kctx);
+    } else if (key == "count") {
+      g.count = static_cast<int>(nonneg_int(val, kctx));
+      have_count = true;
+    } else if (key == "workload") {
+      g.workload = workload_from_json(val, kctx);
+    } else if (key == "access_bw_mbps") {
+      g.access_bw = Bandwidth::mbps(positive_num(val, kctx));
+    } else if (key == "access_delay_us") {
+      g.access_delay = Duration::micros(nonneg_int(val, kctx));
+    } else if (key == "access_queue_bytes") {
+      g.access_queue = positive_int(val, kctx);
+    } else if (key == "behind_bottleneck") {
+      g.behind_bottleneck = bool_of(val, kctx);
+    } else if (key == "via_proxy") {
+      g.via_proxy = bool_of(val, kctx);
+    } else {
+      fail(ctx, "unknown key \"" + key + "\"");
+    }
+  }
+  if (g.label.empty()) fail(ctx, "group needs a non-empty \"label\"");
+  if (!have_count) fail(ctx, "group needs a \"count\"");
+  return g;
+}
+
+void lan_from_json(ScenarioConfig& cfg, const json::Value& v, const std::string& ctx) {
+  obj_of(v, ctx);
+  std::int64_t good = 0, bad = 0, total = -1;
+  bool have_bad = false;
+  for (const auto& [key, val] : v.as_object()) {
+    const std::string kctx = ctx + "." + key;
+    if (key == "good") {
+      good = nonneg_int(val, kctx);
+    } else if (key == "bad") {
+      bad = nonneg_int(val, kctx);
+      have_bad = true;
+    } else if (key == "total") {
+      total = positive_int(val, kctx);
+    } else {
+      fail(ctx, "unknown key \"" + key + "\"");
+    }
+  }
+  if (total >= 0) {
+    if (have_bad) fail(ctx, "give either \"bad\" or \"total\", not both");
+    if (good > total) {
+      fail(ctx, "\"good\" (" + std::to_string(good) + ") exceeds \"total\" (" +
+                    std::to_string(total) + ")");
+    }
+    bad = total - good;
+  }
+  const ScenarioConfig populated =
+      lan_scenario(static_cast<int>(good), static_cast<int>(bad), cfg.capacity_rps,
+                   cfg.mode, cfg.seed);
+  cfg.groups = populated.groups;
+}
+
+void link_spec_from_json(const json::Value& v, const std::string& ctx,
+                         const char* rate_key, Bandwidth& rate, Duration& delay,
+                         Bytes& queue) {
+  obj_of(v, ctx);
+  for (const auto& [key, val] : v.as_object()) {
+    const std::string kctx = ctx + "." + key;
+    if (key == rate_key) {
+      rate = Bandwidth::mbps(positive_num(val, kctx));
+    } else if (key == "delay_us") {
+      delay = Duration::micros(nonneg_int(val, kctx));
+    } else if (key == "queue_bytes") {
+      queue = positive_int(val, kctx);
+    } else {
+      fail(ctx, "unknown key \"" + key + "\"");
+    }
+  }
+}
+
+void collateral_from_json(CollateralSpec& c, const json::Value& v, const std::string& ctx) {
+  obj_of(v, ctx);
+  for (const auto& [key, val] : v.as_object()) {
+    const std::string kctx = ctx + "." + key;
+    if (key == "file_size_bytes") {
+      c.file_size = positive_int(val, kctx);
+    } else if (key == "downloads") {
+      c.downloads = static_cast<int>(positive_int(val, kctx));
+    } else if (key == "access_bw_mbps") {
+      c.access_bw = Bandwidth::mbps(positive_num(val, kctx));
+    } else if (key == "access_delay_us") {
+      c.access_delay = Duration::micros(nonneg_int(val, kctx));
+    } else if (key == "behind_bottleneck") {
+      c.behind_bottleneck = bool_of(val, kctx);
+    } else if (key == "start_delay_s") {
+      c.start_delay = Duration::seconds(nonneg_num(val, kctx));
+    } else {
+      fail(ctx, "unknown key \"" + key + "\"");
+    }
+  }
+}
+
+ScenarioConfig config_from_json(const json::Value& v, const std::string& ctx) {
+  obj_of(v, ctx);
+  ScenarioConfig cfg;
+  const json::Value* lan = nullptr;
+  bool have_groups = false;
+  for (const auto& [key, val] : v.as_object()) {
+    const std::string kctx = ctx + "." + key;
+    if (key == "defense") {
+      const std::string& name = str_of(val, kctx);
+      try {
+        (void)resolve_defense_name(name);
+      } catch (const std::invalid_argument& e) {
+        fail(kctx, e.what());
+      }
+      if (const auto mode = parse_defense_mode(name)) {
+        cfg.mode = *mode;
+        cfg.defense.clear();
+      } else {
+        cfg.defense = name;
+      }
+    } else if (key == "capacity_rps") {
+      cfg.capacity_rps = positive_num(val, kctx);
+    } else if (key == "duration_s") {
+      cfg.duration = Duration::seconds(positive_num(val, kctx));
+    } else if (key == "seed") {
+      cfg.seed = static_cast<std::uint64_t>(nonneg_int(val, kctx));
+    } else if (key == "payment_window_s") {
+      cfg.payment_window = Duration::seconds(positive_num(val, kctx));
+    } else if (key == "quantum_s") {
+      cfg.quantum = Duration::seconds(nonneg_num(val, kctx));
+    } else if (key == "suspension_limit_s") {
+      cfg.suspension_limit = Duration::seconds(positive_num(val, kctx));
+    } else if (key == "response_body_bytes") {
+      cfg.response_body = positive_int(val, kctx);
+    } else if (key == "thinner") {
+      link_spec_from_json(val, kctx, "bw_mbps", cfg.thinner_bw, cfg.thinner_delay,
+                          cfg.thinner_queue);
+    } else if (key == "lan") {
+      lan = &val;  // expanded below, once defense/capacity/seed are known
+    } else if (key == "groups") {
+      have_groups = true;
+      int gi = 0;
+      for (const json::Value& gv : arr_of(val, kctx)) {
+        cfg.groups.push_back(
+            group_from_json(gv, kctx + "[" + std::to_string(gi) + "]"));
+        ++gi;
+      }
+    } else if (key == "bottleneck") {
+      BottleneckSpec b;
+      link_spec_from_json(val, kctx, "rate_mbps", b.rate, b.delay, b.queue);
+      cfg.bottleneck = b;
+    } else if (key == "collateral") {
+      CollateralSpec c;
+      collateral_from_json(c, val, kctx);
+      cfg.collateral = c;
+    } else if (key == "proxy") {
+      ProxySpec p;
+      link_spec_from_json(val, kctx, "uplink_mbps", p.uplink, p.delay, p.queue);
+      cfg.proxy = p;
+    } else {
+      fail(ctx, "unknown key \"" + key + "\"");
+    }
+  }
+  if (lan != nullptr) {
+    if (have_groups) fail(ctx, "\"lan\" and \"groups\" are mutually exclusive");
+    lan_from_json(cfg, *lan, ctx + ".lan");
+  }
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Label templates: "{defense}/g{lan.good}" resolved against the expanded
+// scenario JSON (so grid-assigned values are visible).
+// ---------------------------------------------------------------------------
+
+std::string substitute_label(const std::string& tmpl, const json::Value& cfg,
+                             const std::string& ctx) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < tmpl.size()) {
+    const char c = tmpl[i];
+    if (c != '{') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    const std::size_t close = tmpl.find('}', i);
+    if (close == std::string::npos) {
+      fail(ctx + ".label", "unterminated '{' in template \"" + tmpl + "\"");
+    }
+    const std::string path = tmpl.substr(i + 1, close - i - 1);
+    const json::Value* v = get_path(cfg, path);
+    if (v == nullptr || !is_scalar(*v)) {
+      fail(ctx + ".label", "placeholder {" + path + "} does not name a scalar "
+                               "value in this scenario");
+    }
+    out += scalar_to_string(*v);
+    i = close + 1;
+  }
+  return out;
+}
+
+struct GridAxis {
+  std::string path;
+  const json::Value::Array* values = nullptr;
+};
+
+std::vector<GridAxis> grid_axes(const json::Value& grid, const std::string& ctx) {
+  std::vector<GridAxis> axes;
+  for (const auto& [path, vals] : obj_of(grid, ctx)) {
+    const std::string actx = ctx + "[\"" + path + "\"]";
+    const json::Value::Array& arr = arr_of(vals, actx);
+    if (arr.empty()) fail(actx, "grid axis must list at least one value");
+    for (const json::Value& v : arr) {
+      if (!is_scalar(v)) fail(actx, "grid axis values must be scalars");
+    }
+    axes.push_back(GridAxis{path, &arr});
+  }
+  return axes;
+}
+
+}  // namespace
+
+std::string resolve_defense_name(std::string_view name) {
+  if (parse_defense_mode(name).has_value() ||
+      core::FrontEndFactory::instance().contains(name)) {
+    return std::string(name);
+  }
+  std::ostringstream os;
+  os << "unknown defense '" << name << "'; registered defenses:";
+  for (const std::string& n : core::FrontEndFactory::instance().names()) os << " " << n;
+  throw std::invalid_argument(os.str());
+}
+
+ScenarioFile parse_scenario_file(std::string_view json_text) {
+  json::Value doc;
+  try {
+    doc = json::parse(json_text);
+  } catch (const json::Error& e) {
+    throw ScenarioError(e.what());
+  }
+  if (!doc.is_object()) wrong_type("top level", "object", doc);
+
+  ScenarioFile out;
+  json::Value defaults{json::Value::Object{}};
+  const json::Value* scenarios = nullptr;
+  for (const auto& [key, val] : doc.as_object()) {
+    if (key == "description") {
+      out.description = str_of(val, "description");
+    } else if (key == "defaults") {
+      for (const auto& [dk, unused] : obj_of(val, "defaults")) {
+        (void)unused;
+        if (dk == "label" || dk == "grid" || dk == "seeds") {
+          fail("defaults", "\"" + dk + "\" is not allowed in defaults (it is "
+                               "per-scenario)");
+        }
+      }
+      defaults = val;
+    } else if (key == "scenarios") {
+      scenarios = &val;
+    } else {
+      fail("top level", "unknown key \"" + key + "\"");
+    }
+  }
+  if (scenarios == nullptr) fail("top level", "missing \"scenarios\" array");
+  const json::Value::Array& entries = arr_of(*scenarios, "scenarios");
+  if (entries.empty()) fail("scenarios", "must list at least one scenario");
+
+  std::size_t index = 0;
+  for (std::size_t si = 0; si < entries.size(); ++si) {
+    const std::string ctx = "scenarios[" + std::to_string(si) + "]";
+    obj_of(entries[si], ctx);
+
+    // Split the entry into expansion directives and config keys.
+    std::string label_template;
+    const json::Value* grid = nullptr;
+    std::int64_t n_seeds = 1;
+    json::Value config_json{json::Value::Object{}};
+    for (const auto& [key, val] : entries[si].as_object()) {
+      if (key == "label") {
+        label_template = str_of(val, ctx + ".label");
+      } else if (key == "grid") {
+        grid = &val;
+      } else if (key == "seeds") {
+        n_seeds = positive_int(val, ctx + ".seeds");
+      } else {
+        config_json.set(key, val);
+      }
+    }
+    // "lan" and "groups" are alternatives, not mergeable: an entry that
+    // writes one replaces the other inherited from defaults (writing both
+    // in the same entry is still the mutual-exclusion error below).
+    const bool entry_has_lan = config_json.find("lan") != nullptr;
+    const bool entry_has_groups = config_json.find("groups") != nullptr;
+    config_json = merge(defaults, config_json);
+    if (entry_has_groups && !entry_has_lan) config_json.erase("lan");
+    if (entry_has_lan && !entry_has_groups) config_json.erase("groups");
+
+    std::vector<GridAxis> axes;
+    if (grid != nullptr) axes = grid_axes(*grid, ctx + ".grid");
+
+    // Odometer over the cross product: the first axis is outermost, the
+    // last cycles fastest; no grid means one combination.
+    std::vector<std::size_t> pos(axes.size(), 0);
+    while (true) {
+      json::Value combo = config_json;
+      for (std::size_t a = 0; a < axes.size(); ++a) {
+        set_path(combo, axes[a].path, (*axes[a].values)[pos[a]], ctx + ".grid");
+      }
+      const json::Value* seed_v = combo.find("seed");
+      const std::uint64_t base_seed =
+          seed_v != nullptr
+              ? static_cast<std::uint64_t>(nonneg_int(*seed_v, ctx + ".seed"))
+              : ScenarioConfig{}.seed;
+      for (std::int64_t k = 0; k < n_seeds; ++k) {
+        json::Value expanded = combo;
+        const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(k);
+        expanded.set("seed", static_cast<double>(seed));
+        LabeledScenario s;
+        s.index = index++;
+        s.config = config_from_json(expanded, ctx);
+        if (!label_template.empty()) {
+          s.label = substitute_label(label_template, expanded, ctx);
+        } else {
+          s.label = s.config.defense_name();
+          for (std::size_t a = 0; a < axes.size(); ++a) {
+            const std::size_t dot = axes[a].path.rfind('.');
+            const std::string seg =
+                dot == std::string::npos ? axes[a].path : axes[a].path.substr(dot + 1);
+            s.label += "/" + seg + "=" + scalar_to_string((*axes[a].values)[pos[a]]);
+          }
+        }
+        if (n_seeds > 1 && label_template.find("{seed}") == std::string::npos) {
+          s.label += "/seed" + std::to_string(seed);
+        }
+        out.scenarios.push_back(std::move(s));
+      }
+      // Advance the odometer; a full wrap means the product is exhausted.
+      bool wrapped = true;
+      for (std::size_t a = axes.size(); a-- > 0;) {
+        if (++pos[a] < axes[a].values->size()) {
+          wrapped = false;
+          break;
+        }
+        pos[a] = 0;
+      }
+      if (wrapped) break;
+    }
+  }
+
+  for (std::size_t i = 0; i < out.scenarios.size(); ++i) {
+    for (std::size_t j = i + 1; j < out.scenarios.size(); ++j) {
+      if (out.scenarios[i].label == out.scenarios[j].label) {
+        fail("scenarios", "duplicate label \"" + out.scenarios[i].label +
+                              "\" — give the colliding entries distinct \"label\" "
+                              "templates");
+      }
+    }
+  }
+  return out;
+}
+
+ScenarioFile load_scenario_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ScenarioError(path + ": cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_scenario_file(buf.str());
+  } catch (const ScenarioError& e) {
+    throw ScenarioError(path + ": " + e.what());
+  }
+}
+
+std::vector<LabeledScenario> ScenarioFile::shard(int index, int count) const {
+  if (count < 1 || index < 0 || index >= count) {
+    throw ScenarioError("shard " + std::to_string(index) + "/" + std::to_string(count) +
+                        " is invalid (need 0 <= index < count)");
+  }
+  std::vector<LabeledScenario> out;
+  for (const LabeledScenario& s : scenarios) {
+    if (s.index % static_cast<std::size_t>(count) == static_cast<std::size_t>(index)) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+void ScenarioFile::queue_on(Runner& runner) const { queue_on(runner, scenarios); }
+
+void ScenarioFile::queue_on(Runner& runner, const std::vector<LabeledScenario>& slice) {
+  for (const LabeledScenario& s : slice) runner.add(s.config, s.label);
+}
+
+}  // namespace speakup::exp

@@ -1,0 +1,111 @@
+// Minimal dependency-free JSON, for scenario files and result persistence.
+//
+// One value type (`util::json::Value`) covers null/bool/number/string/
+// array/object; `parse()` reports errors with line and column so a typo in
+// a hand-written scenario file points at the offending character; `dump()`
+// emits deterministic output (objects keep insertion order, doubles use
+// shortest round-trip formatting) so serialized results are diffable.
+//
+// This is deliberately a subset of JSON tooling: no SAX interface, no
+// comments, no NaN/Inf extensions. Scenario and result files are small —
+// clarity of errors beats parse throughput here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace speakup::util::json {
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+[[nodiscard]] const char* type_name(Type t);
+
+/// Thrown by parse() (with line/column context) and by the typed accessors
+/// below (with the offending type).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error("json: " + what) {}
+};
+
+class Value {
+ public:
+  /// Objects preserve insertion order: scenario error messages and dumped
+  /// result files follow the order keys were written.
+  using Object = std::vector<std::pair<std::string, Value>>;
+  using Array = std::vector<Value>;
+
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double d) : type_(Type::kNumber), num_(d) {}
+  Value(int i) : type_(Type::kNumber), num_(i) {}
+  Value(std::int64_t i) : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw Error naming the actual type on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  /// Number that must be integral (no fractional part); throws otherwise.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] Value* find(std::string_view key) {
+    return const_cast<Value*>(static_cast<const Value*>(this)->find(key));
+  }
+
+  /// Append/overwrite an object member (builder-style serialization).
+  Value& set(std::string_view key, Value v);
+  /// Removes an object member; returns whether it was present.
+  bool erase(std::string_view key);
+  /// Append an array element.
+  Value& push_back(Value v);
+
+  /// Serializes. `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits compact one-line output. Deterministic: key order is
+  /// insertion order, numbers round-trip exactly.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parses a complete JSON document (trailing garbage is an error). Errors
+/// read like "json: line 4, column 17: expected ',' or '}'".
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Serializes a string with JSON escaping, including the quotes.
+[[nodiscard]] std::string quote(std::string_view s);
+
+/// Shortest decimal form that round-trips the double (integral values get
+/// no decimal point). Used for dump() and anywhere results must be
+/// byte-stable across writers.
+[[nodiscard]] std::string number_to_string(double v);
+
+}  // namespace speakup::util::json

@@ -1,0 +1,121 @@
+// Tests for the dependency-free JSON layer under the scenario loader and
+// result writer: parse/dump round trips, deterministic number formatting,
+// and errors that point at the offending line and column.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/json.hpp"
+
+namespace speakup::util::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("2.5").as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("-1e3").as_number(), -1000.0);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Value v = parse(R"({"a": [1, 2, {"b": "c"}], "d": {}})");
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[2].find("b")->as_string(), "c");
+  EXPECT_TRUE(v.find("d")->as_object().empty());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  const Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+  const Value::Object& o = v.as_object();
+  ASSERT_EQ(o.size(), 3u);
+  EXPECT_EQ(o[0].first, "z");
+  EXPECT_EQ(o[1].first, "a");
+  EXPECT_EQ(o[2].first, "m");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(quote("a\"b\nc"), R"("a\"b\nc")");
+}
+
+TEST(Json, DumpRoundTrips) {
+  const char* text = R"({"name":"fig2","vals":[1,2.5,true,null],"sub":{"k":"v"}})";
+  const Value v = parse(text);
+  EXPECT_EQ(v.dump(), text);           // compact, insertion order
+  const Value again = parse(v.dump(2));  // pretty output re-parses to equal dump
+  EXPECT_EQ(again.dump(), text);
+}
+
+TEST(Json, NumberFormattingIsDeterministicAndExact) {
+  EXPECT_EQ(number_to_string(100.0), "100");
+  EXPECT_EQ(number_to_string(-3.0), "-3");
+  EXPECT_EQ(number_to_string(0.5), "0.5");
+  // A value needing full precision still round-trips exactly.
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(number_to_string(v)), v);
+}
+
+TEST(Json, ErrorsNameLineAndColumn) {
+  try {
+    (void)parse("{\n  \"a\": 1,\n  \"b\" 2\n}");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW((void)parse(""), Error);
+  EXPECT_THROW((void)parse("{\"a\": 1} trailing"), Error);
+  EXPECT_THROW((void)parse("[1, 2"), Error);
+  EXPECT_THROW((void)parse("\"unterminated"), Error);
+  EXPECT_THROW((void)parse("tru"), Error);
+  EXPECT_THROW((void)parse("1.2.3"), Error);
+}
+
+TEST(Json, DuplicateObjectKeysAreRejected) {
+  try {
+    (void)parse(R"({"seed": 1, "seed": 2})");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("seed"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, TypedAccessorsNameTheActualType) {
+  try {
+    (void)parse("[1]").as_object();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("array"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW((void)parse("2.5").as_int(), Error);
+  // Integral but outside int64: a range error, not an unchecked cast.
+  EXPECT_THROW((void)parse("1e300").as_int(), Error);
+}
+
+TEST(Json, NonFiniteNumbersAreRejected) {
+  EXPECT_THROW((void)parse("1e999"), Error);   // strtod overflows to inf
+  EXPECT_THROW((void)parse("-1e999"), Error);
+  EXPECT_THROW((void)number_to_string(std::numeric_limits<double>::infinity()),
+               Error);
+  EXPECT_THROW((void)number_to_string(std::numeric_limits<double>::quiet_NaN()),
+               Error);
+}
+
+TEST(Json, BuilderApi) {
+  Value v;
+  v.set("a", 1).set("b", "x").set("a", 2);  // overwrite keeps position
+  Value arr;
+  arr.push_back(true).push_back(Value(nullptr));
+  v.set("list", std::move(arr));
+  EXPECT_EQ(v.dump(), R"({"a":2,"b":"x","list":[true,null]})");
+}
+
+}  // namespace
+}  // namespace speakup::util::json

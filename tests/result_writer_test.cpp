@@ -1,0 +1,223 @@
+// Tests for result persistence: deterministic CSV rows (golden output),
+// well-formed JSON, and the sharded-merge contract — merging per-shard CSVs
+// reproduces the unsharded file byte for byte, with equal fingerprints.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/result_writer.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
+#include "util/json.hpp"
+
+namespace speakup {
+namespace {
+
+using exp::ResultWriter;
+using exp::RunOutcome;
+
+namespace json = util::json;
+
+/// A fully deterministic synthetic outcome (no simulation involved).
+RunOutcome synthetic_outcome(const std::string& label, std::uint64_t seed) {
+  RunOutcome o;
+  o.label = label;
+  o.config = exp::lan_scenario(2, 2, 100.0, exp::DefenseMode::kAuction, seed);
+  o.config.duration = Duration::seconds(60.0);
+  o.result.defense = "auction";
+  o.result.served_total = 120;
+  o.result.served_good = 90;
+  o.result.served_bad = 30;
+  o.result.allocation_good = 0.75;
+  o.result.allocation_bad = 0.25;
+  o.result.fraction_good_served = 0.5;
+  o.result.server_busy_fraction = 0.9;
+  o.result.sim_duration = Duration::seconds(60.0);
+  o.result.events_executed = 1000 + seed;
+  o.result.wall_seconds = 1.5;  // nondeterministic in real runs; fixed here
+  o.result.groups.resize(2);
+  o.result.groups[0].label = "good";
+  o.result.groups[0].count = 2;
+  o.result.groups[0].totals.served = 90;
+  o.result.groups[0].allocation = 0.75;
+  o.result.groups[1].label = "bad";
+  o.result.groups[1].count = 2;
+  o.result.groups[1].totals.served = 30;
+  o.result.groups[1].allocation = 0.25;
+  return o;
+}
+
+TEST(ResultWriter, CsvHeaderAndRowShape) {
+  const RunOutcome o = synthetic_outcome("auction/g5", 3);
+  const std::string row = ResultWriter::csv_row(7, o);
+  // Same number of columns as the header.
+  const auto count_fields = [](const std::string& s) {
+    std::size_t n = 1;
+    for (const char c : s) n += c == ',';
+    return n;
+  };
+  EXPECT_EQ(count_fields(row), count_fields(ResultWriter::csv_header()));
+  EXPECT_EQ(row.rfind("7,auction/g5,auction,3,100,60,120,90,30,0.75,0.25,0,0,0.5,0.9,1003,", 0), 0u)
+      << row;
+  // The fingerprint column holds the result's actual fingerprint as
+  // fixed-width hex.
+  char expected_fp[17];
+  std::snprintf(expected_fp, sizeof expected_fp, "%016llx",
+                static_cast<unsigned long long>(o.result.fingerprint()));
+  EXPECT_NE(row.find(expected_fp), std::string::npos) << row;
+}
+
+TEST(ResultWriter, FailedOutcomeRowIsGolden) {
+  RunOutcome o;
+  o.label = "broken";
+  o.config = exp::lan_scenario(1, 0, 50.0, exp::DefenseMode::kRetry, 4);
+  o.config.duration = Duration::seconds(10.0);
+  o.error = "something fell over";
+  EXPECT_EQ(ResultWriter::csv_row(2, o),
+            "2,broken,retry,4,50,10,,,,,,,,,,,,something fell over");
+}
+
+TEST(ResultWriter, CsvEscapesDelimitersAndFlattensNewlines) {
+  RunOutcome o;
+  o.label = "weird,label \"x\"";
+  o.config.seed = 1;
+  o.error = "line1\nline2";
+  const std::string row = ResultWriter::csv_row(0, o);
+  EXPECT_NE(row.find("\"weird,label \"\"x\"\"\""), std::string::npos) << row;
+  // Rows must never span lines (merge_csv and CSV tooling are line-based),
+  // so embedded newlines flatten to spaces.
+  EXPECT_EQ(row.find('\n'), std::string::npos) << row;
+  EXPECT_NE(row.find("line1 line2"), std::string::npos) << row;
+}
+
+// A shard containing a failed scenario must still merge (failure messages
+// are the field most likely to carry hostile characters).
+TEST(ResultWriter, ShardWithFailedOutcomeStillMerges) {
+  ResultWriter ok_shard, bad_shard, all;
+  const RunOutcome good = synthetic_outcome("fine", 1);
+  RunOutcome bad;
+  bad.label = "broken";
+  bad.config.seed = 2;
+  bad.error = "multi\nline, \"quoted\" error";
+  ok_shard.add(0, good);
+  bad_shard.add(1, bad);
+  all.add(0, good);
+  all.add(1, bad);
+  std::ostringstream s0, s1, sa;
+  ok_shard.write_csv(s0);
+  bad_shard.write_csv(s1);
+  all.write_csv(sa);
+  EXPECT_EQ(ResultWriter::merge_csv({s0.str(), s1.str()}), sa.str());
+}
+
+TEST(ResultWriter, WritesRowsSortedByIndex) {
+  ResultWriter w;
+  w.add(2, synthetic_outcome("c", 3));
+  w.add(0, synthetic_outcome("a", 1));
+  w.add(1, synthetic_outcome("b", 2));
+  std::ostringstream os;
+  w.write_csv(os);
+  const std::string csv = os.str();
+  const std::size_t a = csv.find("\n0,a,");
+  const std::size_t b = csv.find("\n1,b,");
+  const std::size_t c = csv.find("\n2,c,");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(c, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_THROW(w.add(1, synthetic_outcome("dup", 9)), std::invalid_argument);
+}
+
+TEST(ResultWriter, JsonOutputIsWellFormedAndComplete) {
+  ResultWriter w;
+  w.add(0, synthetic_outcome("auction/g5", 3));
+  RunOutcome bad;
+  bad.label = "exploded";
+  bad.config.seed = 2;
+  bad.error = "boom";
+  w.add(1, bad);
+  std::ostringstream os;
+  w.write_json(os);
+  const json::Value doc = json::parse(os.str());  // must re-parse cleanly
+  EXPECT_EQ(doc.find("result_count")->as_int(), 2);
+  const auto& results = doc.find("results")->as_array();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].find("label")->as_string(), "auction/g5");
+  EXPECT_EQ(results[0].find("metrics")->find("served_total")->as_int(), 120);
+  EXPECT_DOUBLE_EQ(results[0].find("metrics")->find("allocation_good")->as_number(),
+                   0.75);
+  EXPECT_DOUBLE_EQ(results[0].find("wall_seconds")->as_number(), 1.5);
+  ASSERT_EQ(results[0].find("groups")->as_array().size(), 2u);
+  EXPECT_EQ(results[1].find("error")->as_string(), "boom");
+  EXPECT_EQ(results[1].find("metrics"), nullptr);
+}
+
+TEST(ResultWriter, MergeRejectsBadInputs) {
+  ResultWriter w0;
+  w0.add(0, synthetic_outcome("a", 1));
+  std::ostringstream s0;
+  w0.write_csv(s0);
+  EXPECT_THROW((void)ResultWriter::merge_csv({}), std::invalid_argument);
+  EXPECT_THROW((void)ResultWriter::merge_csv({"not,a,speakup,header\n"}),
+               std::invalid_argument);
+  // Overlapping indices across shards are a hard error.
+  EXPECT_THROW((void)ResultWriter::merge_csv({s0.str(), s0.str()}),
+               std::invalid_argument);
+}
+
+TEST(ResultWriter, MergedSyntheticShardsEqualUnsharded) {
+  ResultWriter all, even, odd;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const RunOutcome o = synthetic_outcome("s" + std::to_string(i), i);
+    all.add(i, o);
+    (i % 2 == 0 ? even : odd).add(i, o);
+  }
+  std::ostringstream sa, se, so;
+  all.write_csv(sa);
+  even.write_csv(se);
+  odd.write_csv(so);
+  EXPECT_EQ(ResultWriter::merge_csv({se.str(), so.str()}), sa.str());
+  // Merge order must not matter.
+  EXPECT_EQ(ResultWriter::merge_csv({so.str(), se.str()}), sa.str());
+}
+
+// The end-to-end contract behind `speakup run --shard`: really running the
+// shards of a scenario file in separate Runners and merging the CSVs gives
+// the byte-identical unsharded file — same fingerprints, same everything.
+TEST(ResultWriter, ShardedRunMergesToUnshardedBytes) {
+  const exp::ScenarioFile file = exp::parse_scenario_file(R"({
+    "defaults": {"duration_s": 1, "capacity_rps": 30, "lan": {"good": 1, "bad": 1}},
+    "scenarios": [{
+      "label": "{defense}/s{seed}",
+      "grid": {"defense": ["none", "auction"]},
+      "seeds": 2
+    }]
+  })");
+  ASSERT_EQ(file.scenarios.size(), 4u);
+
+  const auto run_slice = [](const std::vector<exp::LabeledScenario>& slice) {
+    exp::Runner runner;
+    exp::ScenarioFile::queue_on(runner, slice);
+    runner.run_all(2);
+    ResultWriter w;
+    for (std::size_t i = 0; i < slice.size(); ++i) {
+      EXPECT_TRUE(runner.outcomes()[i].ok()) << runner.outcomes()[i].error;
+      w.add(slice[i].index, runner.outcomes()[i]);
+    }
+    std::ostringstream os;
+    w.write_csv(os);
+    return os.str();
+  };
+
+  const std::string unsharded = run_slice(file.scenarios);
+  const std::string shard0 = run_slice(file.shard(0, 2));
+  const std::string shard1 = run_slice(file.shard(1, 2));
+  EXPECT_EQ(ResultWriter::merge_csv({shard0, shard1}), unsharded);
+}
+
+}  // namespace
+}  // namespace speakup

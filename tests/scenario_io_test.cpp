@@ -1,0 +1,366 @@
+// Tests for the data-driven scenario loader: JSON -> LabeledScenario
+// expansion (defaults, grids, label templates, seed replication, sharding),
+// a full parse -> run -> serialize round trip against hand-built configs,
+// and malformed-input errors that name the offending key.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
+
+namespace speakup {
+namespace {
+
+using exp::LabeledScenario;
+using exp::ScenarioError;
+using exp::ScenarioFile;
+using exp::parse_scenario_file;
+
+/// EXPECT that parsing `text` fails and the message mentions `needle`.
+void expect_parse_error(const std::string& text, const std::string& needle) {
+  try {
+    (void)parse_scenario_file(text);
+    FAIL() << "expected ScenarioError mentioning \"" << needle << "\"";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+TEST(ScenarioIo, MinimalFileUsesConfigDefaults) {
+  const ScenarioFile f = parse_scenario_file(R"({
+    "scenarios": [{"defense": "retry"}]
+  })");
+  ASSERT_EQ(f.scenarios.size(), 1u);
+  const LabeledScenario& s = f.scenarios[0];
+  EXPECT_EQ(s.index, 0u);
+  EXPECT_EQ(s.label, "retry");
+  EXPECT_EQ(s.config.defense_name(), "retry");
+  // Untouched knobs keep the ScenarioConfig defaults.
+  const exp::ScenarioConfig defaults;
+  EXPECT_DOUBLE_EQ(s.config.capacity_rps, defaults.capacity_rps);
+  EXPECT_EQ(s.config.seed, defaults.seed);
+  EXPECT_EQ(s.config.duration, defaults.duration);
+  EXPECT_TRUE(s.config.groups.empty());
+}
+
+TEST(ScenarioIo, DefaultsMergeAndScenarioWins) {
+  const ScenarioFile f = parse_scenario_file(R"({
+    "defaults": {"capacity_rps": 80, "seed": 9, "lan": {"good": 2, "bad": 3}},
+    "scenarios": [
+      {"label": "a"},
+      {"label": "b", "capacity_rps": 120, "lan": {"good": 4}}
+    ]
+  })");
+  ASSERT_EQ(f.scenarios.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.scenarios[0].config.capacity_rps, 80.0);
+  EXPECT_EQ(f.scenarios[0].config.seed, 9u);
+  ASSERT_EQ(f.scenarios[0].config.groups.size(), 2u);
+  EXPECT_EQ(f.scenarios[0].config.groups[0].count, 2);
+  EXPECT_EQ(f.scenarios[0].config.groups[1].count, 3);
+  // The second scenario's nested "lan" object deep-merges over the default.
+  EXPECT_DOUBLE_EQ(f.scenarios[1].config.capacity_rps, 120.0);
+  EXPECT_EQ(f.scenarios[1].config.groups[0].count, 4);
+  EXPECT_EQ(f.scenarios[1].config.groups[1].count, 3);
+}
+
+TEST(ScenarioIo, ExplicitGroupsReplaceLanInheritedFromDefaults) {
+  // "lan" and "groups" are alternatives: an entry writing one drops the
+  // other inherited from defaults instead of tripping mutual exclusion.
+  const ScenarioFile f = parse_scenario_file(R"({
+    "defaults": {"lan": {"good": 25, "bad": 25}},
+    "scenarios": [
+      {"label": "inherited"},
+      {"label": "special", "groups": [{"label": "solo", "count": 1}]},
+      {"label": "resized", "lan": {"good": 2, "bad": 2}}
+    ]
+  })");
+  ASSERT_EQ(f.scenarios.size(), 3u);
+  EXPECT_EQ(f.scenarios[0].config.groups.size(), 2u);
+  ASSERT_EQ(f.scenarios[1].config.groups.size(), 1u);
+  EXPECT_EQ(f.scenarios[1].config.groups[0].label, "solo");
+  ASSERT_EQ(f.scenarios[2].config.groups.size(), 2u);
+  EXPECT_EQ(f.scenarios[2].config.groups[0].count, 2);
+}
+
+TEST(ScenarioIo, GridExpandsCrossProductInOrder) {
+  const ScenarioFile f = parse_scenario_file(R"({
+    "scenarios": [{
+      "label": "{defense}/c{capacity_rps}",
+      "grid": {"defense": ["none", "auction"], "capacity_rps": [50, 100, 200]}
+    }]
+  })");
+  ASSERT_EQ(f.scenarios.size(), 6u);
+  // First axis outermost, last cycles fastest; indices follow file order.
+  EXPECT_EQ(f.scenarios[0].label, "none/c50");
+  EXPECT_EQ(f.scenarios[1].label, "none/c100");
+  EXPECT_EQ(f.scenarios[2].label, "none/c200");
+  EXPECT_EQ(f.scenarios[3].label, "auction/c50");
+  EXPECT_EQ(f.scenarios[5].label, "auction/c200");
+  for (std::size_t i = 0; i < f.scenarios.size(); ++i) {
+    EXPECT_EQ(f.scenarios[i].index, i);
+  }
+  EXPECT_DOUBLE_EQ(f.scenarios[4].config.capacity_rps, 100.0);
+  EXPECT_EQ(f.scenarios[4].config.defense_name(), "auction");
+}
+
+TEST(ScenarioIo, GridReachesNestedPathsAndLanTotal) {
+  const ScenarioFile f = parse_scenario_file(R"({
+    "defaults": {"lan": {"total": 10, "good": 5}},
+    "scenarios": [{
+      "label": "g{lan.good}",
+      "grid": {"lan.good": [2, 8]}
+    }]
+  })");
+  ASSERT_EQ(f.scenarios.size(), 2u);
+  EXPECT_EQ(f.scenarios[0].label, "g2");
+  ASSERT_EQ(f.scenarios[0].config.groups.size(), 2u);
+  EXPECT_EQ(f.scenarios[0].config.groups[0].count, 2);   // good
+  EXPECT_EQ(f.scenarios[0].config.groups[1].count, 8);   // bad = total - good
+  EXPECT_EQ(f.scenarios[1].config.groups[0].count, 8);
+  EXPECT_EQ(f.scenarios[1].config.groups[1].count, 2);
+}
+
+TEST(ScenarioIo, SeedsReplicateWithDerivedLabels) {
+  const ScenarioFile f = parse_scenario_file(R"({
+    "scenarios": [{"defense": "auction", "seed": 10, "seeds": 3}]
+  })");
+  ASSERT_EQ(f.scenarios.size(), 3u);
+  EXPECT_EQ(f.scenarios[0].label, "auction/seed10");
+  EXPECT_EQ(f.scenarios[2].label, "auction/seed12");
+  EXPECT_EQ(f.scenarios[0].config.seed, 10u);
+  EXPECT_EQ(f.scenarios[2].config.seed, 12u);
+}
+
+TEST(ScenarioIo, SeedPlaceholderInLabelSuppressesSuffix) {
+  const ScenarioFile f = parse_scenario_file(R"({
+    "scenarios": [{"label": "s{seed}", "defense": "none", "seeds": 2}]
+  })");
+  ASSERT_EQ(f.scenarios.size(), 2u);
+  EXPECT_EQ(f.scenarios[0].label, "s1");
+  EXPECT_EQ(f.scenarios[1].label, "s2");
+}
+
+TEST(ScenarioIo, GroupAndLinkKnobsParse) {
+  const ScenarioFile f = parse_scenario_file(R"({
+    "scenarios": [{
+      "defense": "quantum",
+      "quantum_s": 0.02,
+      "payment_window_s": 5,
+      "response_body_bytes": 500,
+      "thinner": {"bw_mbps": 1000, "delay_us": 200, "queue_bytes": 50000},
+      "bottleneck": {"rate_mbps": 1, "delay_us": 100000, "queue_bytes": 100000},
+      "collateral": {"file_size_bytes": 8000, "downloads": 20},
+      "groups": [
+        {"label": "good", "count": 3, "workload": "good",
+         "access_bw_mbps": 0.5, "behind_bottleneck": true},
+        {"label": "attack", "count": 2,
+         "workload": {"preset": "bad", "lambda": 10, "post_size_bytes": 2000000}}
+      ]
+    }]
+  })");
+  ASSERT_EQ(f.scenarios.size(), 1u);
+  const exp::ScenarioConfig& c = f.scenarios[0].config;
+  EXPECT_EQ(c.defense_name(), "quantum");
+  EXPECT_EQ(c.quantum, Duration::seconds(0.02));
+  EXPECT_EQ(c.payment_window, Duration::seconds(5.0));
+  EXPECT_EQ(c.response_body, 500);
+  EXPECT_EQ(c.thinner_bw, Bandwidth::mbps(1000));
+  EXPECT_EQ(c.thinner_delay, Duration::micros(200));
+  ASSERT_TRUE(c.bottleneck.has_value());
+  EXPECT_EQ(c.bottleneck->rate, Bandwidth::mbps(1));
+  ASSERT_TRUE(c.collateral.has_value());
+  EXPECT_EQ(c.collateral->file_size, 8000);
+  EXPECT_EQ(c.collateral->downloads, 20);
+  ASSERT_EQ(c.groups.size(), 2u);
+  EXPECT_EQ(c.groups[0].access_bw, Bandwidth::mbps(0.5));
+  EXPECT_TRUE(c.groups[0].behind_bottleneck);
+  EXPECT_EQ(c.groups[1].workload.cls, http::ClientClass::kBad);
+  EXPECT_DOUBLE_EQ(c.groups[1].workload.lambda, 10.0);
+  EXPECT_EQ(c.groups[1].workload.post_size, 2'000'000);
+  EXPECT_EQ(c.groups[1].workload.window, client::bad_client_params().window);
+}
+
+TEST(ScenarioIo, ShardsPartitionRoundRobin) {
+  const ScenarioFile f = parse_scenario_file(R"({
+    "scenarios": [{"label": "i{seed}", "defense": "none", "seed": 0, "seeds": 5}]
+  })");
+  ASSERT_EQ(f.scenarios.size(), 5u);
+  const auto s0 = f.shard(0, 2);
+  const auto s1 = f.shard(1, 2);
+  ASSERT_EQ(s0.size(), 3u);
+  ASSERT_EQ(s1.size(), 2u);
+  EXPECT_EQ(s0[0].index, 0u);
+  EXPECT_EQ(s0[1].index, 2u);
+  EXPECT_EQ(s0[2].index, 4u);
+  EXPECT_EQ(s1[0].index, 1u);
+  EXPECT_EQ(s1[1].index, 3u);
+  // Global labels are preserved inside a shard.
+  EXPECT_EQ(s1[0].label, "i1");
+  EXPECT_THROW((void)f.shard(2, 2), ScenarioError);
+  EXPECT_THROW((void)f.shard(-1, 2), ScenarioError);
+  EXPECT_THROW((void)f.shard(0, 0), ScenarioError);
+}
+
+// The core contract: a parsed scenario runs to the same fingerprint as the
+// equivalent hand-built ScenarioConfig.
+TEST(ScenarioIo, ParsedScenarioMatchesHandBuiltFingerprint) {
+  const ScenarioFile f = parse_scenario_file(R"({
+    "scenarios": [{
+      "defense": "auction", "capacity_rps": 50, "duration_s": 2, "seed": 17,
+      "lan": {"good": 3, "bad": 3}
+    }]
+  })");
+  ASSERT_EQ(f.scenarios.size(), 1u);
+  exp::ScenarioConfig hand =
+      exp::lan_scenario(3, 3, 50.0, exp::DefenseMode::kAuction, 17);
+  hand.duration = Duration::seconds(2.0);
+  const exp::ExperimentResult from_file = exp::run_scenario(f.scenarios[0].config);
+  const exp::ExperimentResult from_hand = exp::run_scenario(hand);
+  EXPECT_EQ(from_file.fingerprint(), from_hand.fingerprint());
+  EXPECT_GT(from_file.served_total, 0);
+}
+
+TEST(ScenarioIo, QueueOnRunnerPreservesLabels) {
+  const ScenarioFile f = parse_scenario_file(R"({
+    "defaults": {"duration_s": 1, "capacity_rps": 30, "lan": {"good": 1, "bad": 1}},
+    "scenarios": [{"label": "{defense}", "grid": {"defense": ["none", "retry"]}}]
+  })");
+  exp::Runner runner;
+  f.queue_on(runner);
+  ASSERT_EQ(runner.size(), 2u);
+  runner.run_all(2);
+  EXPECT_TRUE(runner.outcome("none").ok()) << runner.outcome("none").error;
+  EXPECT_TRUE(runner.outcome("retry").ok()) << runner.outcome("retry").error;
+}
+
+// ---------------------------------------------------------------------------
+// Malformed inputs: every error names the offending key or location.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioIoErrors, UnknownKeysAreNamedWithTheirPath) {
+  expect_parse_error(R"({"scenarios": [{"capcity_rps": 100}]})", "capcity_rps");
+  expect_parse_error(
+      R"({"scenarios": [{"groups": [{"label": "g", "count": 1, "acess_bw_mbps": 2}]}]})",
+      "acess_bw_mbps");
+  expect_parse_error(R"({"scenarios": [{"lan": {"goood": 1}}]})", "goood");
+  expect_parse_error(R"({"scenario": []})", "scenario");
+}
+
+TEST(ScenarioIoErrors, UnknownDefenseListsRegisteredNames) {
+  try {
+    (void)parse_scenario_file(R"({"scenarios": [{"defense": "aucton"}]})");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("aucton"), std::string::npos) << what;
+    // The fix-it list: every registered defense is spelled out.
+    EXPECT_NE(what.find("auction"), std::string::npos) << what;
+    EXPECT_NE(what.find("retry"), std::string::npos) << what;
+    EXPECT_NE(what.find("none"), std::string::npos) << what;
+    EXPECT_NE(what.find("quantum"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioIoErrors, ResolveDefenseNameIsStrict) {
+  EXPECT_EQ(exp::resolve_defense_name("auction"), "auction");
+  EXPECT_EQ(exp::resolve_defense_name("none"), "none");
+  try {
+    (void)exp::resolve_defense_name("nonesuch");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("auction"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ScenarioIoErrors, ValueErrorsNameTheKey) {
+  expect_parse_error(R"({"scenarios": [{"capacity_rps": "fast"}]})", "capacity_rps");
+  expect_parse_error(R"({"scenarios": [{"capacity_rps": -5}]})", "capacity_rps");
+  expect_parse_error(R"({"scenarios": [{"duration_s": 0}]})", "duration_s");
+  expect_parse_error(R"({"scenarios": [{"seed": 1.5}]})", "seed");
+  expect_parse_error(R"({"scenarios": [{"groups": [{"count": 1}]}]})", "label");
+  expect_parse_error(R"({"scenarios": [{"groups": [{"label": "g"}]}]})", "count");
+  expect_parse_error(
+      R"({"scenarios": [{"groups": [{"label": "g", "count": 1, "workload": "evil"}]}]})",
+      "evil");
+}
+
+TEST(ScenarioIoErrors, StructuralMistakesAreCaught) {
+  expect_parse_error(R"({"scenarios": []})", "at least one");
+  expect_parse_error(R"({"scenarios": [{"lan": {"good": 1}, "groups": []}]})",
+                     "mutually exclusive");
+  expect_parse_error(R"({"scenarios": [{"lan": {"good": 5, "total": 3}}]})", "total");
+  expect_parse_error(R"({"scenarios": [{"lan": {"bad": 1, "total": 3}}]})",
+                     "not both");
+  expect_parse_error(R"({"defaults": {"grid": {}}, "scenarios": [{}]})", "grid");
+  expect_parse_error(
+      R"({"scenarios": [{"label": "x", "defense": "none"}, {"label": "x"}]})",
+      "duplicate label");
+  expect_parse_error(R"({"scenarios": [{"label": "{oops}"}]})", "oops");
+  expect_parse_error(R"({"scenarios": [{"label": "{unclosed"}]})", "unterminated");
+  expect_parse_error(R"({"scenarios": [{"grid": {"capacity_rps": []}}]})",
+                     "at least one value");
+  expect_parse_error(R"({"scenarios": [{"grid": {"capacity_rps": 5}}]})", "array");
+}
+
+TEST(ScenarioIoErrors, JsonSyntaxErrorsCarryLineInfo) {
+  expect_parse_error("{\"scenarios\": [\n  {,}\n]}", "line 2");
+  expect_parse_error("[]", "object");
+}
+
+// ---------------------------------------------------------------------------
+// The checked-in scenario files are part of the contract: they must parse
+// and expand to the labels the bench harnesses look up.
+// ---------------------------------------------------------------------------
+
+std::string checked_in(const std::string& name) {
+  const char* env = std::getenv("SPEAKUP_SCENARIO_DIR");
+  const std::string dir = env != nullptr ? env : SPEAKUP_SCENARIO_DIR;
+  return dir + "/" + name;
+}
+
+TEST(ScenarioFiles, Fig2ExpandsToTheBenchGrid) {
+  const ScenarioFile f = exp::load_scenario_file(checked_in("fig2.json"));
+  EXPECT_EQ(f.scenarios.size(), 18u);  // 2 defenses x 9 good-counts
+  std::set<std::string> labels;
+  for (const auto& s : f.scenarios) labels.insert(s.label);
+  EXPECT_TRUE(labels.count("none/g5"));
+  EXPECT_TRUE(labels.count("auction/g45"));
+  for (const auto& s : f.scenarios) {
+    EXPECT_DOUBLE_EQ(s.config.capacity_rps, 100.0);
+    EXPECT_EQ(s.config.seed, 21u);
+    ASSERT_EQ(s.config.groups.size(), 2u);
+    EXPECT_EQ(s.config.groups[0].count + s.config.groups[1].count, 50);
+  }
+}
+
+TEST(ScenarioFiles, Fig3AndTab1AndSmokeParse) {
+  const ScenarioFile fig3 = exp::load_scenario_file(checked_in("fig3.json"));
+  EXPECT_EQ(fig3.scenarios.size(), 6u);
+  const ScenarioFile tab1 = exp::load_scenario_file(checked_in("tab1.json"));
+  EXPECT_EQ(tab1.scenarios.size(), 7u);  // row1 + 4x row2 + row4 off/on
+  std::set<std::string> labels;
+  for (const auto& s : tab1.scenarios) labels.insert(s.label);
+  EXPECT_TRUE(labels.count("row1"));
+  EXPECT_TRUE(labels.count("row2/c155"));
+  EXPECT_TRUE(labels.count("row4/on"));
+  const ScenarioFile smoke = exp::load_scenario_file(checked_in("smoke.json"));
+  EXPECT_EQ(smoke.scenarios.size(), 6u);  // 4 defenses + 2 seed replicas
+}
+
+TEST(ScenarioFiles, MissingFileNamesThePath) {
+  try {
+    (void)exp::load_scenario_file("/nonexistent/sweep.json");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/sweep.json"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace speakup

@@ -1,0 +1,243 @@
+// `speakup` — the data-driven sweep driver.
+//
+//   speakup run scenarios/fig2.json --out results.csv --jobs 4
+//   speakup run scenarios/fig2.json --shard 0/2 --out shard0.csv
+//   speakup merge --out merged.csv shard0.csv shard1.csv
+//   speakup validate scenarios/fig2.json
+//   speakup defenses
+//
+// `run` executes a scenario file on a Runner thread pool; `--shard i/M`
+// takes the round-robin slice owned by process i of M, and `merge` stitches
+// the per-shard CSVs back into the byte-identical unsharded output (results
+// are deterministic per scenario + seed, so splitting work across processes
+// never changes numbers). Full usage notes live in docs/cli.md; the file
+// format in docs/scenario_format.md.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/front_end_factory.hpp"
+#include "exp/result_writer.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
+
+namespace {
+
+using namespace speakup;
+
+int usage(std::FILE* to) {
+  std::fprintf(to,
+               "speakup — data-driven scenario sweeps for the speak-up simulator\n"
+               "\n"
+               "usage:\n"
+               "  speakup run <scenarios.json> [options]   execute a scenario file\n"
+               "    --out FILE       write results as CSV (deterministic, mergeable)\n"
+               "    --json FILE      write results as JSON (adds groups + wall time)\n"
+               "    --jobs N         thread-pool size (default: hardware concurrency)\n"
+               "    --shard i/M      run only scenarios with index %% M == i\n"
+               "    --quiet          suppress the summary table on stdout\n"
+               "  speakup merge --out FILE <shard.csv>...  merge sharded CSV outputs\n"
+               "  speakup validate <scenarios.json>        parse + list expanded scenarios\n"
+               "  speakup defenses                         list registered defense names\n"
+               "\n"
+               "docs: docs/cli.md, docs/scenario_format.md\n");
+  return to == stdout ? 0 : 2;
+}
+
+bool parse_shard(const std::string& arg, int& index, int& count) {
+  const std::size_t slash = arg.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= arg.size()) return false;
+  const std::string left = arg.substr(0, slash);
+  const std::string right = arg.substr(slash + 1);
+  try {
+    std::size_t li = 0, ri = 0;
+    index = std::stoi(left, &li);
+    count = std::stoi(right, &ri);
+    // Reject trailing garbage ("1.9/2" must not run as shard 1/2).
+    if (li != left.size() || ri != right.size()) return false;
+  } catch (const std::exception&) {
+    return false;
+  }
+  return count >= 1 && index >= 0 && index < count;
+}
+
+int parse_int_arg(const char* name, const std::string& text) {
+  std::size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (text.empty() || pos != text.size()) {
+    throw std::runtime_error(std::string(name) + " wants an integer (got '" + text +
+                             "')");
+  }
+  return v;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write '" + path + "'");
+  out << content;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::string scenario_path, out_csv, out_json;
+  int jobs = 0;
+  int shard_index = 0, shard_count = 1;
+  bool quiet = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::runtime_error("option " + a + " needs a value");
+      }
+      return args[++i];
+    };
+    if (a == "--out") {
+      out_csv = value();
+    } else if (a == "--json") {
+      out_json = value();
+    } else if (a == "--jobs") {
+      jobs = parse_int_arg("--jobs", value());
+      if (jobs < 1) throw std::runtime_error("--jobs must be >= 1");
+    } else if (a == "--shard") {
+      if (!parse_shard(value(), shard_index, shard_count)) {
+        throw std::runtime_error("--shard wants i/M with 0 <= i < M (got '" +
+                                 args[i] + "')");
+      }
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      throw std::runtime_error("unknown option '" + a + "' for run");
+    } else if (scenario_path.empty()) {
+      scenario_path = a;
+    } else {
+      throw std::runtime_error("run takes exactly one scenario file");
+    }
+  }
+  if (scenario_path.empty()) throw std::runtime_error("run needs a scenario file");
+
+  const exp::ScenarioFile file = exp::load_scenario_file(scenario_path);
+  const std::vector<exp::LabeledScenario> slice = file.shard(shard_index, shard_count);
+  if (!quiet) {
+    std::printf("%s: %zu scenario(s)", scenario_path.c_str(), file.scenarios.size());
+    if (shard_count > 1) {
+      std::printf(", shard %d/%d runs %zu", shard_index, shard_count, slice.size());
+    }
+    if (!file.description.empty()) std::printf(" — %s", file.description.c_str());
+    std::printf("\n");
+  }
+
+  exp::Runner runner;
+  exp::ScenarioFile::queue_on(runner, slice);
+  runner.run_all(jobs);
+
+  exp::ResultWriter writer;
+  int failures = 0;
+  for (std::size_t i = 0; i < runner.outcomes().size(); ++i) {
+    const exp::RunOutcome& o = runner.outcomes()[i];
+    writer.add(slice[i].index, o);
+    if (!o.ok()) {
+      ++failures;
+      std::fprintf(stderr, "scenario '%s' failed: %s\n", o.label.c_str(),
+                   o.error.c_str());
+    }
+  }
+
+  if (!out_csv.empty()) {
+    std::ostringstream os;
+    writer.write_csv(os);
+    write_file(out_csv, os.str());
+    if (!quiet) std::printf("wrote %s\n", out_csv.c_str());
+  }
+  if (!out_json.empty()) {
+    std::ostringstream os;
+    writer.write_json(os);
+    write_file(out_json, os.str());
+    if (!quiet) std::printf("wrote %s\n", out_json.c_str());
+  }
+  if (!quiet) runner.summary_table().print(std::cout);
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_merge(const std::vector<std::string>& args) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      if (i + 1 >= args.size()) throw std::runtime_error("--out needs a value");
+      out_path = args[++i];
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      throw std::runtime_error("unknown option '" + args[i] + "' for merge");
+    } else {
+      inputs.push_back(args[i]);
+    }
+  }
+  if (inputs.empty()) throw std::runtime_error("merge needs at least one shard CSV");
+  std::vector<std::string> contents;
+  contents.reserve(inputs.size());
+  for (const std::string& p : inputs) contents.push_back(read_file(p));
+  const std::string merged = exp::ResultWriter::merge_csv(contents);
+  if (out_path.empty() || out_path == "-") {
+    std::fputs(merged.c_str(), stdout);
+  } else {
+    write_file(out_path, merged);
+    std::printf("merged %zu file(s) into %s\n", inputs.size(), out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_validate(const std::vector<std::string>& args) {
+  if (args.size() != 1) throw std::runtime_error("validate takes one scenario file");
+  const exp::ScenarioFile file = exp::load_scenario_file(args[0]);
+  std::printf("%s: OK, %zu scenario(s)\n", args[0].c_str(), file.scenarios.size());
+  if (!file.description.empty()) std::printf("description: %s\n", file.description.c_str());
+  for (const exp::LabeledScenario& s : file.scenarios) {
+    std::printf("  [%zu] %s  (defense=%s seed=%llu capacity=%g duration=%gs)\n",
+                s.index, s.label.c_str(), s.config.defense_name().c_str(),
+                static_cast<unsigned long long>(s.config.seed), s.config.capacity_rps,
+                s.config.duration.sec());
+  }
+  return 0;
+}
+
+int cmd_defenses() {
+  for (const std::string& name : core::FrontEndFactory::instance().names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(stderr);
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "merge") return cmd_merge(args);
+    if (cmd == "validate") return cmd_validate(args);
+    if (cmd == "defenses") return cmd_defenses();
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(stdout);
+    std::fprintf(stderr, "speakup: unknown command '%s'\n\n", cmd.c_str());
+    return usage(stderr);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "speakup %s: %s\n", cmd.c_str(), e.what());
+    return 2;
+  }
+}
