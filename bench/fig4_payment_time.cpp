@@ -2,11 +2,16 @@
 // uploading dummy bytes, for c = 50, 100, 200 requests/s (G = B = 50
 // Mbit/s). With a lightly loaded server (c = 200) speak-up introduces
 // almost no latency.
+//
+// The grid lives in scenarios/fig4.json — the same file `speakup run`
+// executes — so the bench and the CLI reproduce identical numbers.
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -16,21 +21,23 @@ int main() {
       "mean payment time shrinks as capacity grows; at c = 200 it is near zero "
       "(paper: ~1 s mean at c = 50, ~0.6 s at c = 100, ~0 at c = 200)");
 
-  const double kCapacities[] = {50.0, 100.0, 200.0};
+  exp::ScenarioFile file = bench::load_scenarios("fig4.json");
+  bench::apply_full_duration(file);
+
+  // The x-axis comes from the file itself, so editing the JSON grid never
+  // leaves this report stale.
+  std::vector<std::string> labels;
+  for (const exp::LabeledScenario& s : file.scenarios) labels.push_back(s.label);
+
   exp::Runner runner;
-  for (const double c : kCapacities) {
-    exp::ScenarioConfig cfg =
-        exp::lan_scenario(25, 25, c, exp::DefenseMode::kAuction, /*seed=*/23);
-    cfg.duration = bench::experiment_duration();
-    runner.add(cfg, "c" + std::to_string(int(c)));
-  }
+  file.queue_on(runner);
   bench::run_all(runner);
 
   stats::Table table({"capacity", "mean-payment-s", "p90-payment-s", "samples"});
-  for (const double c : kCapacities) {
-    const exp::ExperimentResult& r = runner.result("c" + std::to_string(int(c)));
+  for (const std::string& label : labels) {
+    const exp::ExperimentResult& r = runner.result(label);
     table.row()
-        .add(static_cast<std::int64_t>(c))
+        .add(static_cast<std::int64_t>(runner.outcome(label).config.capacity_rps))
         .add(r.thinner.payment_time_good.mean(), 3)
         .add(r.thinner.payment_time_good.percentile(0.9), 3)
         .add(static_cast<std::int64_t>(r.thinner.payment_time_good.count()));

@@ -6,13 +6,20 @@
 //  (2) How does the bad clients' window w affect their capture of the
 //      server? (Paper: w = 20 is pessimistic; other w in 1..60 capture
 //      less.)
+//
+// Both sweeps live in scenarios/sec7_4.json — the same file `speakup run`
+// executes — so the bench and the CLI reproduce identical numbers. The
+// window sweep is a grid over "groups.1.workload.window", the array-index
+// grid-path form documented in docs/scenario_format.md.
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "core/theory.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -22,24 +29,18 @@ int main() {
       "all good demand is satisfied at c ~ 15% above the ideal c_id; "
       "bad-client window w = 20 is the (near-)pessimal choice");
 
-  const double kCapacities[] = {100.0, 110.0, 120.0, 130.0, 140.0, 150.0, 160.0};
-  const int kWindows[] = {1, 5, 10, 20, 40, 60};
+  exp::ScenarioFile file = bench::load_scenarios("sec7_4.json");
+  bench::apply_full_duration(file);
 
-  // Both sweeps share one thread pool: capacity sweep + window sweep.
+  // The two sweeps' x-axes come from the file: "c<capacity>" labels form
+  // the capacity sweep, "w<window>" labels the bad-window sweep.
+  std::vector<std::string> capacity_labels, window_labels;
+  for (const exp::LabeledScenario& s : file.scenarios) {
+    (s.label[0] == 'c' ? capacity_labels : window_labels).push_back(s.label);
+  }
+
   exp::Runner runner;
-  for (const double c : kCapacities) {
-    exp::ScenarioConfig cfg =
-        exp::lan_scenario(25, 25, c, exp::DefenseMode::kAuction, /*seed=*/29);
-    cfg.duration = bench::experiment_duration(120.0);
-    runner.add(cfg, "c" + std::to_string(int(c)));
-  }
-  for (const int w : kWindows) {
-    exp::ScenarioConfig cfg =
-        exp::lan_scenario(25, 25, 100.0, exp::DefenseMode::kAuction, /*seed=*/29);
-    cfg.duration = bench::experiment_duration(120.0);
-    cfg.groups[1].workload.window = w;
-    runner.add(cfg, "w" + std::to_string(w));
-  }
+  file.queue_on(runner);
   bench::run_all(runner);
 
   // (1) Sweep c upward from c_id until the good clients are fully served.
@@ -48,8 +49,9 @@ int main() {
               core::theory::ideal_provisioning(50.0, 50.0, 50.0));
   stats::Table sweep({"capacity", "frac-good-served", "alloc(good)", "verdict"});
   double satisfied_at = -1.0;
-  for (const double c : kCapacities) {
-    const exp::ExperimentResult& r = runner.result("c" + std::to_string(int(c)));
+  for (const std::string& label : capacity_labels) {
+    const double c = runner.outcome(label).config.capacity_rps;
+    const exp::ExperimentResult& r = runner.result(label);
     const bool ok = r.fraction_good_served >= 0.99;
     if (ok && satisfied_at < 0) satisfied_at = c;
     sweep.row()
@@ -68,9 +70,13 @@ int main() {
 
   // (2) Bad window sweep at c = 100.
   stats::Table wsweep({"bad-window-w", "alloc(bad)", "alloc(good)"});
-  for (const int w : kWindows) {
-    const exp::ExperimentResult& r = runner.result("w" + std::to_string(w));
-    wsweep.row().add(w).add(r.allocation_bad, 3).add(r.allocation_good, 3);
+  for (const std::string& label : window_labels) {
+    const exp::ExperimentResult& r = runner.result(label);
+    wsweep.row()
+        .add(static_cast<std::int64_t>(
+            runner.outcome(label).config.groups[1].workload.window))
+        .add(r.allocation_bad, 3)
+        .add(r.allocation_good, 3);
   }
   wsweep.print(std::cout);
   return 0;

@@ -15,6 +15,8 @@ struct ClientStats {
   std::int64_t denied = 0;         // 10 s timeout, backlog expiry, eviction, abort
   std::int64_t busy_rejected = 0;  // kBusy fast failures (no-defense baseline)
   std::int64_t retries_sent = 0;   // §3.2 mode
+  std::int64_t payments_declined = 0;   // strategy refused a kPleasePay
+  std::int64_t payments_abandoned = 0;  // strategy defected mid-payment
   Bytes payment_bytes_acked = 0;   // dummy bytes delivered (client view)
   stats::SampleSet response_time;        // request sent -> response, served only
   stats::SampleSet payment_time_client;  // kPleasePay -> response, served only
@@ -35,6 +37,8 @@ struct ClientStats {
     denied += o.denied;
     busy_rejected += o.busy_rejected;
     retries_sent += o.retries_sent;
+    payments_declined += o.payments_declined;
+    payments_abandoned += o.payments_abandoned;
     payment_bytes_acked += o.payment_bytes_acked;
     response_time.merge(o.response_time);
     payment_time_client.merge(o.payment_time_client);

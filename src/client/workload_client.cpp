@@ -1,5 +1,7 @@
 #include "client/workload_client.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace speakup::client {
@@ -16,6 +18,7 @@ WorkloadClient::WorkloadClient(transport::Host& host, net::NodeId thinner,
       params_(params),
       id_base_(static_cast<std::uint64_t>(client_index + 1) << 32),
       rng_(std::move(rng)),
+      strategy_(StrategyFactory::instance().create(params.strategy, strategy_params(params))),
       pool_(host.loop()) {
   util::require(params.lambda > 0, "client lambda must be positive");
   util::require(params.window >= 1, "client window must be >= 1");
@@ -23,22 +26,35 @@ WorkloadClient::WorkloadClient(transport::Host& host, net::NodeId thinner,
 
 WorkloadClient::~WorkloadClient() = default;
 
+StrategyView WorkloadClient::view() const {
+  StrategyView v;
+  v.now = host_->loop().now();
+  v.stats = &stats_;
+  v.outstanding = outstanding_.size();
+  v.backlog = backlog_.size();
+  return v;
+}
+
+int WorkloadClient::current_window() {
+  return std::max(1, strategy_->window(view()));
+}
+
 void WorkloadClient::start() {
-  arrival_event_ = host_->loop().schedule(Duration::seconds(rng_.exponential(params_.lambda)),
-                                          [this] { on_arrival(); });
+  arrival_event_ =
+      host_->loop().schedule(strategy_->next_arrival(rng_, view()), [this] { on_arrival(); });
 }
 
 void WorkloadClient::on_arrival() {
   if (paused_) return;
   ++stats_.arrivals;
   purge_backlog();
-  if (outstanding_.size() < static_cast<std::size_t>(params_.window)) {
+  if (outstanding_.size() < static_cast<std::size_t>(current_window())) {
     start_request();
   } else {
     backlog_.push_back(host_->loop().now());
   }
-  arrival_event_ = host_->loop().schedule(Duration::seconds(rng_.exponential(params_.lambda)),
-                                          [this] { on_arrival(); });
+  arrival_event_ =
+      host_->loop().schedule(strategy_->next_arrival(rng_, view()), [this] { on_arrival(); });
 }
 
 void WorkloadClient::start_request() {
@@ -78,7 +94,11 @@ void WorkloadClient::start_request() {
 void WorkloadClient::on_message(PendingRequest& pr, const Message& m) {
   switch (m.type) {
     case MessageType::kPleasePay: {
-      if (pr.payment != nullptr) break;  // already paying
+      if (pr.payment != nullptr) break;  // already paying (or defected)
+      if (!strategy_->pay(rng_, view())) {
+        ++stats_.payments_declined;
+        break;  // sit out the auction; the request rides on its timeout
+      }
       pr.paying = true;
       pr.pay_started = host_->loop().now();
       PaymentChannelClient::Config pc;
@@ -87,6 +107,12 @@ void WorkloadClient::on_message(PendingRequest& pr, const Message& m) {
       pc.post_size = params_.post_size;
       pr.payment = std::make_unique<PaymentChannelClient>(*host_, pool_, pc, pr.id, params_.cls);
       pr.payment->start();
+      if (const auto patience = strategy_->payment_patience(rng_, view())) {
+        const std::uint64_t id = pr.id;
+        pr.defect_timer =
+            std::make_unique<sim::Timer>(host_->loop(), [this, id] { abandon_payment(id); });
+        pr.defect_timer->restart(*patience);
+      }
       break;
     }
     case MessageType::kRetry:
@@ -116,12 +142,22 @@ void WorkloadClient::on_message(PendingRequest& pr, const Message& m) {
   }
 }
 
+void WorkloadClient::abandon_payment(std::uint64_t id) {
+  const auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;
+  PendingRequest& pr = *it->second;
+  if (pr.payment == nullptr || pr.payment->stopped()) return;
+  pr.payment->stop();  // §7.4 defection: the bid freezes mid-window
+  ++stats_.payments_abandoned;
+}
+
 void WorkloadClient::pump_retries(PendingRequest& pr) {
   if (pr.stream == nullptr || pr.stream->connection() == nullptr) return;
   const transport::TcpConnection& conn = *pr.stream->connection();
   const Bytes per_msg = Message{.type = MessageType::kRequest}.wire_bytes();
   const auto acked_msgs = conn.bytes_acked() / per_msg;
-  while (pr.retries_sent - acked_msgs < params_.retry_pipeline) {
+  const int pipeline = strategy_->retry_pipeline(view());  // hot path: ask once per pump
+  while (pr.retries_sent - acked_msgs < pipeline) {
     pr.stream->send(Message{.type = MessageType::kRequest,
                             .request_id = pr.id,
                             .cls = params_.cls,
@@ -169,7 +205,7 @@ void WorkloadClient::purge_backlog() {
 void WorkloadClient::drain_backlog() {
   purge_backlog();
   while (!backlog_.empty() &&
-         outstanding_.size() < static_cast<std::size_t>(params_.window)) {
+         outstanding_.size() < static_cast<std::size_t>(current_window())) {
     backlog_.pop_front();
     start_request();
   }

@@ -1,26 +1,35 @@
-// The request-generating client of §7.1, used for both populations:
+// The request-generating client of §7.1, used for every population:
 //
-//   - requests arrive by a Poisson process of rate lambda;
-//   - at most `window` requests are outstanding; excess arrivals wait in a
-//     backlog queue and become service denials after 10 s;
+//   - requests arrive by the workload strategy's arrival process (the
+//     default "poisson" strategy is §7.1's Poisson process of rate lambda);
+//   - at most `window` requests are outstanding (the strategy may vary the
+//     window over time); excess arrivals wait in a backlog queue and become
+//     service denials after 10 s;
 //   - an outstanding request that gets no response within 10 s is a denial.
 //
 // Good clients run lambda = 2, window = 1; bad clients lambda = 40,
 // window = 20 (requests sent concurrently) — §7.1. The client is purely
-// reactive to the thinner: kPleasePay starts a payment channel (§3.3 mode),
-// kRetry starts an aggressive congestion-controlled retry stream (§3.2
-// mode), kBusy is an immediate failure (no-defense baseline). Hence the
-// same client code runs under every defense mode, like the paper's single
-// custom client.
+// reactive to the thinner: kPleasePay consults the strategy and (normally)
+// starts a payment channel (§3.3 mode), kRetry starts an aggressive
+// congestion-controlled retry stream (§3.2 mode), kBusy is an immediate
+// failure (no-defense baseline). Hence the same client code runs under
+// every defense mode, like the paper's single custom client — and every
+// behavioral decision (arrival timing, window, paying, defecting) is
+// delegated to a pluggable client::Strategy from the adversary library
+// (strategy.hpp), so new attacker behaviors need no client edits.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "client/client_stats.hpp"
 #include "client/payment_channel.hpp"
+#include "client/strategy.hpp"
 #include "http/message.hpp"
 #include "http/message_stream.hpp"
 #include "http/session_pool.hpp"
@@ -44,7 +53,23 @@ struct WorkloadParams {
   int retry_pipeline = 64;
   std::uint32_t request_port = 80;
   std::uint32_t payment_port = 81;
+  /// Behavior strategy: a client::StrategyFactory registry key. The default
+  /// "poisson" reproduces the pre-strategy client bit for bit.
+  std::string strategy = "poisson";
+  /// Named per-strategy knobs (scenario files: the `strategy_params` block).
+  std::vector<std::pair<std::string, double>> strategy_knobs;
 };
+
+/// The strategy-construction view of a WorkloadParams: base knobs every
+/// strategy shares, plus the free-form named knobs.
+[[nodiscard]] inline StrategyParams strategy_params(const WorkloadParams& p) {
+  StrategyParams sp;
+  sp.lambda = p.lambda;
+  sp.window = p.window;
+  sp.retry_pipeline = p.retry_pipeline;
+  sp.knobs = p.strategy_knobs;
+  return sp;
+}
 
 /// Paper defaults (§7.1).
 [[nodiscard]] inline WorkloadParams good_client_params() {
@@ -83,6 +108,7 @@ class WorkloadClient {
   [[nodiscard]] const ClientStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t outstanding() const { return outstanding_.size(); }
   [[nodiscard]] std::size_t backlog() const { return backlog_.size(); }
+  [[nodiscard]] const Strategy& strategy() const { return *strategy_; }
 
  private:
   struct PendingRequest {
@@ -91,6 +117,7 @@ class WorkloadClient {
     http::MessageStream* stream = nullptr;
     std::unique_ptr<PaymentChannelClient> payment;
     std::unique_ptr<sim::Timer> timer;
+    std::unique_ptr<sim::Timer> defect_timer;  // strategy payment_patience
     bool paying = false;
     SimTime pay_started;
     bool retry_pumping = false;
@@ -99,9 +126,12 @@ class WorkloadClient {
 
   enum class Disposition { kServed, kDenied, kBusyRejected };
 
+  [[nodiscard]] StrategyView view() const;
+  [[nodiscard]] int current_window();
   void on_arrival();
   void start_request();
   void on_message(PendingRequest& pr, const http::Message& m);
+  void abandon_payment(std::uint64_t id);
   void pump_retries(PendingRequest& pr);
   void finish(std::uint64_t id, Disposition d);
   void purge_backlog();
@@ -113,6 +143,7 @@ class WorkloadClient {
   std::uint64_t id_base_;
   std::uint32_t next_seq_ = 0;
   util::RngStream rng_;
+  std::unique_ptr<Strategy> strategy_;
   http::SessionPool pool_;
   ClientStats stats_;
   std::unordered_map<std::uint64_t, std::unique_ptr<PendingRequest>> outstanding_;

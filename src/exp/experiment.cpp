@@ -149,6 +149,7 @@ ExperimentResult Experiment::run() {
     r.groups[gi].label = cfg_.groups[gi].label;
     r.groups[gi].count = cfg_.groups[gi].count;
     r.groups[gi].cls = cfg_.groups[gi].workload.cls;
+    r.groups[gi].strategy = cfg_.groups[gi].workload.strategy;
   }
   for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
     GroupResult& g = r.groups[group_of_client_[ci]];
@@ -239,12 +240,15 @@ std::uint64_t ExperimentResult::fingerprint() const {
   for (const GroupResult& g : groups) {
     hash_u64(h, util::fnv1a(g.label));
     hash_i64(h, g.count);
+    hash_u64(h, util::fnv1a(g.strategy));
     hash_i64(h, g.totals.arrivals);
     hash_i64(h, g.totals.started);
     hash_i64(h, g.totals.served);
     hash_i64(h, g.totals.denied);
     hash_i64(h, g.totals.busy_rejected);
     hash_i64(h, g.totals.retries_sent);
+    hash_i64(h, g.totals.payments_declined);
+    hash_i64(h, g.totals.payments_abandoned);
     hash_i64(h, g.totals.payment_bytes_acked);
     hash_samples(h, g.totals.response_time);
     hash_double(h, g.allocation);
@@ -257,6 +261,32 @@ std::uint64_t ExperimentResult::fingerprint() const {
   hash_i64(h, sim_duration.ns());
   hash_u64(h, events_executed);
   return h;
+}
+
+std::vector<StrategyResult> ExperimentResult::strategy_totals() const {
+  std::vector<StrategyResult> out;
+  for (const GroupResult& g : groups) {
+    StrategyResult* s = nullptr;
+    for (StrategyResult& existing : out) {
+      if (existing.strategy == g.strategy) {
+        s = &existing;
+        break;
+      }
+    }
+    if (s == nullptr) {
+      out.push_back(StrategyResult{g.strategy, 0, {}, 0.0});
+      s = &out.back();
+    }
+    s->clients += g.count;
+    s->totals.merge(g.totals);
+  }
+  for (StrategyResult& s : out) {
+    if (served_total > 0) {
+      s.allocation =
+          static_cast<double>(s.totals.served) / static_cast<double>(served_total);
+    }
+  }
+  return out;
 }
 
 ExperimentResult run_scenario(const ScenarioConfig& cfg) {

@@ -29,9 +29,19 @@ struct GroupResult {
   std::string label;
   int count = 0;
   http::ClientClass cls = http::ClientClass::kGood;
+  std::string strategy;                       // the group's workload strategy
   client::ClientStats totals;                 // merged over the group's clients
   std::vector<std::int64_t> served_per_client;
   double allocation = 0.0;                    // share of all served requests
+};
+
+/// Per-strategy rollup: GroupResults merged across every group running the
+/// same workload strategy (adversary-library breakdowns).
+struct StrategyResult {
+  std::string strategy;
+  int clients = 0;
+  client::ClientStats totals;
+  double allocation = 0.0;  // share of all served requests
 };
 
 struct ExperimentResult {
@@ -51,6 +61,9 @@ struct ExperimentResult {
 
   core::ThinnerStats thinner;
   std::vector<GroupResult> groups;
+
+  /// Groups merged by workload strategy, in first-appearance order.
+  [[nodiscard]] std::vector<StrategyResult> strategy_totals() const;
 
   // §7.7 bystander.
   stats::SampleSet collateral_latencies;

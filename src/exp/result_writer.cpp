@@ -1,6 +1,7 @@
 #include "exp/result_writer.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -131,12 +132,27 @@ void ResultWriter::write_json(std::ostream& os) const {
       json::Value gv;
       gv.set("label", g.label);
       gv.set("count", g.count);
+      gv.set("strategy", g.strategy);
       gv.set("served", static_cast<double>(g.totals.served));
       gv.set("denied", static_cast<double>(g.totals.denied));
       gv.set("allocation", g.allocation);
       groups.push_back(std::move(gv));
     }
     entry.set("groups", std::move(groups));
+    // Adversary-library view: the same totals merged per workload strategy.
+    json::Value strategies{json::Value::Array{}};
+    for (const StrategyResult& s : r.strategy_totals()) {
+      json::Value sv;
+      sv.set("strategy", s.strategy);
+      sv.set("clients", s.clients);
+      sv.set("served", static_cast<double>(s.totals.served));
+      sv.set("denied", static_cast<double>(s.totals.denied));
+      sv.set("payments_declined", static_cast<double>(s.totals.payments_declined));
+      sv.set("payments_abandoned", static_cast<double>(s.totals.payments_abandoned));
+      sv.set("allocation", s.allocation);
+      strategies.push_back(std::move(sv));
+    }
+    entry.set("strategies", std::move(strategies));
     entry.set("fingerprint", fingerprint_hex(r.fingerprint()));
     // Host wall time: the one nondeterministic field, excluded from the
     // fingerprint and from the CSV form.
@@ -149,37 +165,105 @@ void ResultWriter::write_json(std::ostream& os) const {
   os << doc.dump(2) << '\n';
 }
 
-std::string ResultWriter::merge_csv(const std::vector<std::string>& shards) {
-  if (shards.empty()) throw std::invalid_argument("merge_csv: no inputs");
-  struct Line {
-    std::size_t index;
-    std::string text;
-  };
-  std::vector<Line> lines;
-  for (std::size_t si = 0; si < shards.size(); ++si) {
-    std::istringstream in(shards[si]);
-    std::string line;
-    if (!std::getline(in, line) || line != csv_header()) {
-      throw std::invalid_argument("merge_csv: input " + std::to_string(si) +
-                                  " does not start with the speakup CSV header");
+namespace {
+
+struct CsvLine {
+  std::size_t index;
+  std::string text;
+};
+
+/// Splits one write_csv output into indexed rows, validating the header.
+/// `what` names the caller in error messages ("merge_csv: input 0", ...).
+std::vector<CsvLine> scan_csv(const std::string& csv, const std::string& what) {
+  std::vector<CsvLine> lines;
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line) || line != ResultWriter::csv_header()) {
+    throw std::invalid_argument(what + " does not start with the speakup CSV header");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::size_t pos = 0;
+    std::size_t index = 0;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+      index = index * 10 + static_cast<std::size_t>(line[pos] - '0');
+      ++pos;
     }
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      std::size_t pos = 0;
-      std::size_t index = 0;
-      while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
-        index = index * 10 + static_cast<std::size_t>(line[pos] - '0');
-        ++pos;
+    if (pos == 0 || pos >= line.size() || line[pos] != ',') {
+      throw std::invalid_argument(what + " has a row without a leading index: " + line);
+    }
+    lines.push_back(CsvLine{index, line});
+  }
+  return lines;
+}
+
+/// Splits one CSV row into its fields, honoring the RFC-4180 quoting
+/// csv_escape produces (rows never span lines).
+std::vector<std::string> split_csv_row(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
       }
-      if (pos == 0 || pos >= line.size() || line[pos] != ',') {
-        throw std::invalid_argument("merge_csv: input " + std::to_string(si) +
-                                    " has a row without a leading index: " + line);
-      }
-      lines.push_back(Line{index, line});
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
     }
   }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> ResultWriter::csv_indices(const std::string& csv) {
+  std::vector<std::size_t> out;
+  for (const CsvLine& l : scan_csv(csv, "csv_indices: input")) out.push_back(l.index);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ResultWriter::ResumeInfo ResultWriter::resume_info(const std::string& csv) {
+  ResumeInfo info;
+  info.completed_csv = csv_header() + "\n";
+  for (const CsvLine& l : scan_csv(csv, "resume: existing output")) {
+    const std::vector<std::string> fields = split_csv_row(l.text);
+    // A failed row leaves the metric columns empty and fills the final
+    // `error` column; only successfully completed rows count as done.
+    const bool completed = !fields.empty() && fields.back().empty();
+    if (!completed) continue;
+    info.completed_csv += l.text;
+    info.completed_csv += '\n';
+    info.completed.emplace_back(l.index, fields.size() > 1 ? fields[1] : "");
+  }
+  return info;
+}
+
+std::string ResultWriter::merge_csv(const std::vector<std::string>& shards) {
+  if (shards.empty()) throw std::invalid_argument("merge_csv: no inputs");
+  std::vector<CsvLine> lines;
+  for (std::size_t si = 0; si < shards.size(); ++si) {
+    const std::vector<CsvLine> shard_lines =
+        scan_csv(shards[si], "merge_csv: input " + std::to_string(si));
+    lines.insert(lines.end(), shard_lines.begin(), shard_lines.end());
+  }
   std::sort(lines.begin(), lines.end(),
-            [](const Line& a, const Line& b) { return a.index < b.index; });
+            [](const CsvLine& a, const CsvLine& b) { return a.index < b.index; });
   for (std::size_t i = 1; i < lines.size(); ++i) {
     if (lines[i].index == lines[i - 1].index) {
       throw std::invalid_argument("merge_csv: scenario index " +
@@ -188,11 +272,62 @@ std::string ResultWriter::merge_csv(const std::vector<std::string>& shards) {
     }
   }
   std::string out = csv_header() + "\n";
-  for (const Line& l : lines) {
+  for (const CsvLine& l : lines) {
     out += l.text;
     out += '\n';
   }
   return out;
+}
+
+std::string ResultWriter::merge_json(const std::vector<std::string>& shards) {
+  if (shards.empty()) throw std::invalid_argument("merge_json: no inputs");
+  struct Entry {
+    std::size_t index;
+    json::Value value;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t si = 0; si < shards.size(); ++si) {
+    const std::string what = "merge_json: input " + std::to_string(si);
+    json::Value doc;
+    try {
+      doc = json::parse(shards[si]);
+    } catch (const json::Error& e) {
+      throw std::invalid_argument(what + ": " + e.what());
+    }
+    const json::Value* results = doc.find("results");
+    if (results == nullptr || !results->is_array()) {
+      throw std::invalid_argument(what + " is not a speakup JSON result document "
+                                         "(missing \"results\" array)");
+    }
+    for (const json::Value& entry : results->as_array()) {
+      const json::Value* index = entry.find("index");
+      std::int64_t idx = -1;
+      try {
+        idx = index != nullptr ? index->as_int() : -1;
+      } catch (const json::Error&) {
+        idx = -1;
+      }
+      if (idx < 0) {
+        throw std::invalid_argument(what + " has a result without an integer \"index\"");
+      }
+      entries.push_back(Entry{static_cast<std::size_t>(idx), entry});
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.index < b.index; });
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].index == entries[i - 1].index) {
+      throw std::invalid_argument("merge_json: scenario index " +
+                                  std::to_string(entries[i].index) +
+                                  " appears in more than one input");
+    }
+  }
+  json::Value results{json::Value::Array{}};
+  for (Entry& e : entries) results.push_back(std::move(e.value));
+  json::Value doc;
+  doc.set("result_count", static_cast<double>(entries.size()));
+  doc.set("results", std::move(results));
+  return doc.dump(2) + "\n";
 }
 
 }  // namespace speakup::exp

@@ -51,6 +51,29 @@ class ResultWriter {
   /// on malformed or overlapping inputs.
   [[nodiscard]] static std::string merge_csv(const std::vector<std::string>& shards);
 
+  /// Merges sharded JSON outputs (each produced by write_json) the same
+  /// way: entries are keyed by their "index", overlaps are errors, and the
+  /// merged document is sorted by index. Because entries are re-serialized
+  /// from parsed values (deterministic key order, round-trip numbers), the
+  /// merge of a writer's split outputs is byte-identical to that writer's
+  /// unsharded write_json — modulo nothing: wall_seconds rides along
+  /// verbatim inside each entry.
+  [[nodiscard]] static std::string merge_json(const std::vector<std::string>& shards);
+
+  /// The scenario indices present in a CSV produced by write_csv (header
+  /// required), sorted ascending.
+  [[nodiscard]] static std::vector<std::size_t> csv_indices(const std::string& csv);
+
+  /// What `speakup run --resume` needs from an interrupted run's CSV: the
+  /// rows that completed successfully (failed rows are dropped so their
+  /// scenarios get re-run, not carried forward) and their (index, label)
+  /// pairs for validating the CSV against the scenario file being resumed.
+  struct ResumeInfo {
+    std::string completed_csv;  // header + successfully completed rows
+    std::vector<std::pair<std::size_t, std::string>> completed;  // (index, label)
+  };
+  [[nodiscard]] static ResumeInfo resume_info(const std::string& csv);
+
  private:
   struct Row {
     std::size_t index;

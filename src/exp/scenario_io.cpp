@@ -1,8 +1,10 @@
 #include "exp/scenario_io.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 
+#include "client/strategy.hpp"
 #include "core/front_end_factory.hpp"
 #include "util/json.hpp"
 
@@ -92,9 +94,20 @@ std::string scalar_to_string(const json::Value& v) {
 
 // ---------------------------------------------------------------------------
 // Dotted-path access into a scenario JSON object ("lan.good",
-// "bottleneck.rate_mbps") — the address space of grid axes and label
-// placeholders.
+// "bottleneck.rate_mbps", "groups.1.workload.window") — the address space of
+// grid axes and label placeholders. An all-digit segment indexes into an
+// array, so grids can sweep per-group knobs.
 // ---------------------------------------------------------------------------
+
+std::optional<std::size_t> as_array_index(std::string_view seg) {
+  if (seg.empty()) return std::nullopt;
+  std::size_t idx = 0;
+  for (const char c : seg) {
+    if (c < '0' || c > '9') return std::nullopt;
+    idx = idx * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return idx;
+}
 
 const json::Value* get_path(const json::Value& root, std::string_view path) {
   const json::Value* cur = &root;
@@ -103,7 +116,13 @@ const json::Value* get_path(const json::Value& root, std::string_view path) {
     const std::size_t dot = path.find('.', start);
     const std::string_view seg =
         path.substr(start, dot == std::string_view::npos ? dot : dot - start);
-    cur = cur->find(seg);
+    if (cur->is_array()) {
+      const auto idx = as_array_index(seg);
+      cur = idx.has_value() && *idx < cur->as_array().size() ? &cur->as_array()[*idx]
+                                                            : nullptr;
+    } else {
+      cur = cur->find(seg);
+    }
     if (cur == nullptr || dot == std::string_view::npos) return cur;
     start = dot + 1;
   }
@@ -118,6 +137,24 @@ void set_path(json::Value& root, std::string_view path, const json::Value& v,
     const std::string seg(
         path.substr(start, dot == std::string_view::npos ? dot : dot - start));
     if (seg.empty()) fail(ctx, "bad grid axis path \"" + std::string(path) + "\"");
+    if (cur->is_array()) {
+      // Array elements must already exist: a grid can overwrite a group's
+      // knob but cannot invent a group.
+      const auto idx = as_array_index(seg);
+      if (!idx.has_value() || *idx >= cur->as_array().size()) {
+        fail(ctx, "grid axis \"" + std::string(path) + "\": \"" + seg +
+                      "\" does not index the array (size " +
+                      std::to_string(cur->as_array().size()) + ")");
+      }
+      json::Value* child = &cur->as_array()[*idx];
+      if (dot == std::string_view::npos) {
+        *child = v;
+        return;
+      }
+      cur = child;
+      start = dot + 1;
+      continue;
+    }
     if (dot == std::string_view::npos) {
       cur->set(seg, v);
       return;
@@ -127,9 +164,9 @@ void set_path(json::Value& root, std::string_view path, const json::Value& v,
       cur->set(seg, json::Value(json::Value::Object{}));
       child = cur->find(seg);
     }
-    if (!child->is_object()) {
+    if (!child->is_object() && !child->is_array()) {
       fail(ctx, "grid axis \"" + std::string(path) + "\": \"" + seg +
-                    "\" is not an object");
+                    "\" is not an object or array");
     }
     cur = child;
     start = dot + 1;
@@ -193,9 +230,30 @@ client::WorkloadParams workload_from_json(const json::Value& v, const std::strin
       p.backlog_timeout = Duration::seconds(positive_num(val, kctx));
     } else if (key == "retry_pipeline") {
       p.retry_pipeline = static_cast<int>(positive_int(val, kctx));
+    } else if (key == "strategy") {
+      const std::string& name = str_of(val, kctx);
+      try {
+        p.strategy = resolve_strategy_name(name);
+      } catch (const std::invalid_argument& e) {
+        fail(kctx, e.what());
+      }
+    } else if (key == "strategy_params") {
+      p.strategy_knobs.clear();
+      for (const auto& [pk, pv] : obj_of(val, kctx)) {
+        p.strategy_knobs.emplace_back(pk, num_of(pv, kctx + "." + pk));
+      }
     } else {
       fail(ctx, "unknown key \"" + key + "\"");
     }
+  }
+  // Construct the strategy once, discarded: an unknown knob (or a bad knob
+  // value) fails at parse time with the strategy's own message, the same
+  // contract resolve_defense_name gives the "defense" key.
+  try {
+    (void)client::StrategyFactory::instance().create(p.strategy,
+                                                     client::strategy_params(p));
+  } catch (const std::invalid_argument& e) {
+    fail(ctx, e.what());
   }
   return p;
 }
@@ -425,6 +483,14 @@ std::vector<GridAxis> grid_axes(const json::Value& grid, const std::string& ctx)
 }
 
 }  // namespace
+
+std::string resolve_strategy_name(std::string_view name) {
+  if (client::StrategyFactory::instance().contains(name)) return std::string(name);
+  std::ostringstream os;
+  os << "unknown strategy '" << name << "'; registered strategies:";
+  for (const std::string& n : client::StrategyFactory::instance().names()) os << " " << n;
+  throw std::invalid_argument(os.str());
+}
 
 std::string resolve_defense_name(std::string_view name) {
   if (parse_defense_mode(name).has_value() ||

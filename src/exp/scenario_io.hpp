@@ -70,4 +70,11 @@ struct ScenarioFile {
 /// instead of running some default defense.
 [[nodiscard]] std::string resolve_defense_name(std::string_view name);
 
+/// Same contract for workload strategies: returns `name` when it is
+/// registered with client::StrategyFactory, and otherwise throws
+/// std::invalid_argument listing every registered strategy. Used for the
+/// `workload.strategy` scenario key (strategy knobs are validated by
+/// constructing the strategy at parse time).
+[[nodiscard]] std::string resolve_strategy_name(std::string_view name);
+
 }  // namespace speakup::exp

@@ -65,6 +65,9 @@ class Value {
   [[nodiscard]] std::int64_t as_int() const;
   [[nodiscard]] const std::string& as_string() const;
   [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array() {
+    return const_cast<Array&>(static_cast<const Value*>(this)->as_array());
+  }
   [[nodiscard]] const Object& as_object() const;
 
   /// Object member lookup; nullptr when absent (or not an object).

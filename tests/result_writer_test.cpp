@@ -1,8 +1,12 @@
 // Tests for result persistence: deterministic CSV rows (golden output),
-// well-formed JSON, and the sharded-merge contract — merging per-shard CSVs
-// reproduces the unsharded file byte for byte, with equal fingerprints.
+// well-formed JSON, the sharded-merge contract — merging per-shard CSVs
+// (and JSON documents) reproduces the unsharded file byte for byte, with
+// equal fingerprints — and the resume contract: re-running only the
+// missing indices of an interrupted sweep and merging reproduces the
+// uninterrupted output byte for byte.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -217,6 +221,134 @@ TEST(ResultWriter, ShardedRunMergesToUnshardedBytes) {
   const std::string shard0 = run_slice(file.shard(0, 2));
   const std::string shard1 = run_slice(file.shard(1, 2));
   EXPECT_EQ(ResultWriter::merge_csv({shard0, shard1}), unsharded);
+}
+
+// ---------------------------------------------------------------------------
+// JSON merge (speakup merge --json).
+// ---------------------------------------------------------------------------
+
+TEST(ResultWriter, MergedJsonShardsEqualUnsharded) {
+  ResultWriter all, even, odd;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const RunOutcome o = synthetic_outcome("s" + std::to_string(i), i);
+    all.add(i, o);
+    (i % 2 == 0 ? even : odd).add(i, o);
+  }
+  std::ostringstream sa, se, so;
+  all.write_json(sa);
+  even.write_json(se);
+  odd.write_json(so);
+  // Byte-identical either way round: entries round-trip through the parser
+  // (deterministic key order and number formatting).
+  EXPECT_EQ(ResultWriter::merge_json({se.str(), so.str()}), sa.str());
+  EXPECT_EQ(ResultWriter::merge_json({so.str(), se.str()}), sa.str());
+}
+
+TEST(ResultWriter, MergeJsonRejectsBadInputs) {
+  ResultWriter w0;
+  w0.add(0, synthetic_outcome("a", 1));
+  std::ostringstream s0;
+  w0.write_json(s0);
+  EXPECT_THROW((void)ResultWriter::merge_json({}), std::invalid_argument);
+  EXPECT_THROW((void)ResultWriter::merge_json({"not json at all"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ResultWriter::merge_json({"{\"foo\": 1}"}), std::invalid_argument);
+  // Overlapping indices across shards are a hard error.
+  EXPECT_THROW((void)ResultWriter::merge_json({s0.str(), s0.str()}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Resume (speakup run --resume).
+// ---------------------------------------------------------------------------
+
+TEST(ResultWriter, ResumeInfoDropsFailedRowsAndKeepsLabels) {
+  ResultWriter w;
+  w.add(0, synthetic_outcome("ok,with \"quotes\"", 0));
+  RunOutcome failed;
+  failed.label = "exploded";
+  failed.config.seed = 1;
+  failed.error = "transient, hopefully";
+  w.add(1, failed);
+  w.add(2, synthetic_outcome("fine", 2));
+  std::ostringstream os;
+  w.write_csv(os);
+
+  const ResultWriter::ResumeInfo info = ResultWriter::resume_info(os.str());
+  // The failed scenario is not "done": it must be re-run on resume.
+  ASSERT_EQ(info.completed.size(), 2u);
+  EXPECT_EQ(info.completed[0].first, 0u);
+  EXPECT_EQ(info.completed[0].second, "ok,with \"quotes\"");  // quoting round-trips
+  EXPECT_EQ(info.completed[1].first, 2u);
+  // The completed baseline holds exactly the header + the two ok rows, so
+  // merging it with a re-run of index 1 reproduces the full file.
+  EXPECT_EQ(ResultWriter::csv_indices(info.completed_csv),
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(info.completed_csv.find("exploded"), std::string::npos);
+}
+
+TEST(ResultWriter, CsvIndicesRoundTrip) {
+  ResultWriter w;
+  w.add(4, synthetic_outcome("e", 4));
+  w.add(0, synthetic_outcome("a", 0));
+  w.add(2, synthetic_outcome("c", 2));
+  std::ostringstream os;
+  w.write_csv(os);
+  EXPECT_EQ(ResultWriter::csv_indices(os.str()),
+            (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(ResultWriter::csv_indices(ResultWriter::csv_header() + "\n"),
+            std::vector<std::size_t>{});
+  EXPECT_THROW((void)ResultWriter::csv_indices("garbage\n"), std::invalid_argument);
+}
+
+// The contract behind `speakup run --resume`: an interrupted sweep's CSV
+// plus a run of only the missing indices merges to the byte-identical
+// output of an uninterrupted fresh run.
+TEST(ResultWriter, ResumedRunIsByteIdenticalToFreshRun) {
+  const exp::ScenarioFile file = exp::parse_scenario_file(R"({
+    "defaults": {"duration_s": 1, "capacity_rps": 30, "lan": {"good": 1, "bad": 1}},
+    "scenarios": [{
+      "label": "{defense}/s{seed}",
+      "grid": {"defense": ["none", "retry"]},
+      "seeds": 2
+    }]
+  })");
+  ASSERT_EQ(file.scenarios.size(), 4u);
+
+  const auto run_slice = [](const std::vector<exp::LabeledScenario>& slice) {
+    exp::Runner runner;
+    exp::ScenarioFile::queue_on(runner, slice);
+    runner.run_all(2);
+    ResultWriter w;
+    for (std::size_t i = 0; i < slice.size(); ++i) {
+      EXPECT_TRUE(runner.outcomes()[i].ok()) << runner.outcomes()[i].error;
+      w.add(slice[i].index, runner.outcomes()[i]);
+    }
+    std::ostringstream os;
+    w.write_csv(os);
+    return os.str();
+  };
+
+  // The uninterrupted run.
+  const std::string fresh = run_slice(file.scenarios);
+
+  // An interrupted run got through indices 0 and 3 only.
+  std::vector<exp::LabeledScenario> done{file.scenarios[0], file.scenarios[3]};
+  const std::string partial = run_slice(done);
+
+  // Resume: identify the missing indices from the partial CSV, run only
+  // those, merge — exactly what `speakup run --resume` does.
+  const std::vector<std::size_t> have = ResultWriter::csv_indices(partial);
+  EXPECT_EQ(have, (std::vector<std::size_t>{0, 3}));
+  std::vector<exp::LabeledScenario> missing;
+  for (const exp::LabeledScenario& s : file.scenarios) {
+    if (std::find(have.begin(), have.end(), s.index) == have.end()) {
+      missing.push_back(s);
+    }
+  }
+  ASSERT_EQ(missing.size(), 2u);
+  const std::string resumed = ResultWriter::merge_csv({partial, run_slice(missing)});
+  EXPECT_EQ(resumed, fresh);
 }
 
 }  // namespace

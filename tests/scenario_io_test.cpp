@@ -337,6 +337,65 @@ TEST(ScenarioFiles, Fig2ExpandsToTheBenchGrid) {
   }
 }
 
+TEST(ScenarioFiles, Fig4AndSec74ExpandToTheBenchGrids) {
+  const ScenarioFile fig4 = exp::load_scenario_file(checked_in("fig4.json"));
+  EXPECT_EQ(fig4.scenarios.size(), 3u);
+  std::set<std::string> labels;
+  for (const auto& s : fig4.scenarios) {
+    labels.insert(s.label);
+    EXPECT_EQ(s.config.defense_name(), "auction");
+    EXPECT_EQ(s.config.seed, 23u);
+  }
+  EXPECT_TRUE(labels.count("c50"));
+  EXPECT_TRUE(labels.count("c200"));
+
+  const ScenarioFile s74 = exp::load_scenario_file(checked_in("sec7_4.json"));
+  EXPECT_EQ(s74.scenarios.size(), 13u);  // 7 capacities + 6 bad windows
+  labels.clear();
+  for (const auto& s : s74.scenarios) labels.insert(s.label);
+  EXPECT_TRUE(labels.count("c100"));
+  EXPECT_TRUE(labels.count("c160"));
+  EXPECT_TRUE(labels.count("w1"));
+  EXPECT_TRUE(labels.count("w60"));
+  // The window sweep writes through an array-index grid path.
+  for (const auto& s : s74.scenarios) {
+    if (s.label == "w40") {
+      ASSERT_EQ(s.config.groups.size(), 2u);
+      EXPECT_EQ(s.config.groups[1].workload.window, 40);
+      EXPECT_DOUBLE_EQ(s.config.groups[1].workload.lambda,
+                       client::bad_client_params().lambda);
+    }
+  }
+}
+
+TEST(ScenarioFiles, AdversaryFilesSweepEveryDefenseWithTheirStrategy) {
+  const struct {
+    const char* file;
+    const char* strategy;
+    std::size_t count;
+  } kAdversaryFiles[] = {
+      {"adversary_onoff.json", "onoff", 8u},
+      {"adversary_defector.json", "defector", 4u},
+      {"adversary_adaptive.json", "adaptive-window", 4u},
+      {"adversary_flashcrowd.json", "flash-crowd", 4u},
+  };
+  for (const auto& [name, strategy, count] : kAdversaryFiles) {
+    const ScenarioFile f = exp::load_scenario_file(checked_in(name));
+    EXPECT_EQ(f.scenarios.size(), count) << name;
+    std::set<std::string> defenses;
+    for (const auto& s : f.scenarios) {
+      defenses.insert(s.config.defense_name());
+      ASSERT_EQ(s.config.groups.size(), 2u) << name;
+      EXPECT_EQ(s.config.groups[0].workload.strategy, "poisson") << name;
+      EXPECT_EQ(s.config.groups[1].workload.strategy, strategy) << name;
+    }
+    // Each adversary file sweeps every built-in defense.
+    for (const exp::DefenseMode m : exp::kAllDefenseModes) {
+      EXPECT_TRUE(defenses.count(exp::to_string(m))) << name << " " << exp::to_string(m);
+    }
+  }
+}
+
 TEST(ScenarioFiles, Fig3AndTab1AndSmokeParse) {
   const ScenarioFile fig3 = exp::load_scenario_file(checked_in("fig3.json"));
   EXPECT_EQ(fig3.scenarios.size(), 6u);

@@ -2,16 +2,22 @@
 //
 //   speakup run scenarios/fig2.json --out results.csv --jobs 4
 //   speakup run scenarios/fig2.json --shard 0/2 --out shard0.csv
+//   speakup run scenarios/fig2.json --out results.csv --resume
 //   speakup merge --out merged.csv shard0.csv shard1.csv
+//   speakup merge --json --out merged.json shard0.json shard1.json
 //   speakup validate scenarios/fig2.json
 //   speakup defenses
+//   speakup strategies
 //
 // `run` executes a scenario file on a Runner thread pool; `--shard i/M`
 // takes the round-robin slice owned by process i of M, and `merge` stitches
-// the per-shard CSVs back into the byte-identical unsharded output (results
-// are deterministic per scenario + seed, so splitting work across processes
-// never changes numbers). Full usage notes live in docs/cli.md; the file
-// format in docs/scenario_format.md.
+// the per-shard CSVs (or, with --json, JSON documents) back into the
+// unsharded output (results are deterministic per scenario + seed, so
+// splitting work across processes never changes numbers). `--resume` skips
+// scenario indices already present in the `--out` CSV and merges the rest
+// in, byte-identical to an uninterrupted run. Full usage notes live in
+// docs/cli.md; the file format in docs/scenario_format.md.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "client/strategy.hpp"
 #include "core/front_end_factory.hpp"
 #include "exp/result_writer.hpp"
 #include "exp/runner.hpp"
@@ -39,10 +46,13 @@ int usage(std::FILE* to) {
                "    --json FILE      write results as JSON (adds groups + wall time)\n"
                "    --jobs N         thread-pool size (default: hardware concurrency)\n"
                "    --shard i/M      run only scenarios with index %% M == i\n"
+               "    --resume         skip indices already in the --out CSV, merge the rest\n"
                "    --quiet          suppress the summary table on stdout\n"
                "  speakup merge --out FILE <shard.csv>...  merge sharded CSV outputs\n"
+               "    --json           inputs/output are JSON result documents\n"
                "  speakup validate <scenarios.json>        parse + list expanded scenarios\n"
                "  speakup defenses                         list registered defense names\n"
+               "  speakup strategies                       list registered workload strategies\n"
                "\n"
                "docs: docs/cli.md, docs/scenario_format.md\n");
   return to == stdout ? 0 : 2;
@@ -99,6 +109,7 @@ int cmd_run(const std::vector<std::string>& args) {
   int jobs = 0;
   int shard_index = 0, shard_count = 1;
   bool quiet = false;
+  bool resume = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto value = [&]() -> const std::string& {
@@ -119,6 +130,8 @@ int cmd_run(const std::vector<std::string>& args) {
         throw std::runtime_error("--shard wants i/M with 0 <= i < M (got '" +
                                  args[i] + "')");
       }
+    } else if (a == "--resume") {
+      resume = true;
     } else if (a == "--quiet") {
       quiet = true;
     } else if (!a.empty() && a[0] == '-') {
@@ -130,13 +143,64 @@ int cmd_run(const std::vector<std::string>& args) {
     }
   }
   if (scenario_path.empty()) throw std::runtime_error("run needs a scenario file");
+  if (resume && out_csv.empty()) {
+    throw std::runtime_error("--resume needs --out FILE (the CSV to resume into)");
+  }
+  if (resume && !out_json.empty()) {
+    throw std::runtime_error(
+        "--resume cannot fill in a --json file (it would hold only the resumed "
+        "scenarios); resume into the CSV, or re-run without --resume for JSON");
+  }
 
   const exp::ScenarioFile file = exp::load_scenario_file(scenario_path);
-  const std::vector<exp::LabeledScenario> slice = file.shard(shard_index, shard_count);
+  std::vector<exp::LabeledScenario> slice = file.shard(shard_index, shard_count);
+
+  // --resume: drop the indices an earlier (interrupted) run already
+  // completed; failed rows are dropped from the baseline so their scenarios
+  // re-run. The merged output below is byte-identical to an uninterrupted
+  // run because per-scenario rows are deterministic.
+  std::string resumed_csv;
+  std::size_t skipped = 0;
+  if (resume) {
+    std::ifstream existing(out_csv, std::ios::binary);
+    std::string previous;
+    if (existing) {
+      std::ostringstream buf;
+      buf << existing.rdbuf();
+      previous = buf.str();
+    }
+    if (!previous.empty()) {  // absent or zero-byte --out: nothing to resume
+      const exp::ResultWriter::ResumeInfo info =
+          exp::ResultWriter::resume_info(previous);
+      // The existing CSV must come from this scenario file: every completed
+      // (index, label) pair has to match the file's expansion.
+      for (const auto& [index, label] : info.completed) {
+        if (index >= file.scenarios.size() || file.scenarios[index].label != label) {
+          throw std::runtime_error(
+              "--resume: '" + out_csv + "' row " + std::to_string(index) + " ('" +
+              label + "') does not match " + scenario_path +
+              " — it was written from a different scenario file");
+        }
+      }
+      if (!info.completed.empty()) {
+        resumed_csv = info.completed_csv;
+        const std::size_t before = slice.size();
+        std::erase_if(slice, [&](const exp::LabeledScenario& s) {
+          return std::any_of(info.completed.begin(), info.completed.end(),
+                             [&](const auto& done) { return done.first == s.index; });
+        });
+        skipped = before - slice.size();
+      }
+    }
+  }
+
   if (!quiet) {
     std::printf("%s: %zu scenario(s)", scenario_path.c_str(), file.scenarios.size());
     if (shard_count > 1) {
       std::printf(", shard %d/%d runs %zu", shard_index, shard_count, slice.size());
+    }
+    if (skipped > 0) {
+      std::printf(", resume skips %zu done, %zu to run", skipped, slice.size());
     }
     if (!file.description.empty()) std::printf(" — %s", file.description.c_str());
     std::printf("\n");
@@ -161,7 +225,11 @@ int cmd_run(const std::vector<std::string>& args) {
   if (!out_csv.empty()) {
     std::ostringstream os;
     writer.write_csv(os);
-    write_file(out_csv, os.str());
+    std::string csv = os.str();
+    if (!resumed_csv.empty()) {
+      csv = exp::ResultWriter::merge_csv({resumed_csv, csv});
+    }
+    write_file(out_csv, csv);
     if (!quiet) std::printf("wrote %s\n", out_csv.c_str());
   }
   if (!out_json.empty()) {
@@ -177,21 +245,28 @@ int cmd_run(const std::vector<std::string>& args) {
 int cmd_merge(const std::vector<std::string>& args) {
   std::string out_path;
   std::vector<std::string> inputs;
+  bool json = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--out") {
       if (i + 1 >= args.size()) throw std::runtime_error("--out needs a value");
       out_path = args[++i];
+    } else if (args[i] == "--json") {
+      json = true;
     } else if (!args[i].empty() && args[i][0] == '-') {
       throw std::runtime_error("unknown option '" + args[i] + "' for merge");
     } else {
       inputs.push_back(args[i]);
     }
   }
-  if (inputs.empty()) throw std::runtime_error("merge needs at least one shard CSV");
+  if (inputs.empty()) {
+    throw std::runtime_error(std::string("merge needs at least one shard ") +
+                             (json ? "JSON document" : "CSV"));
+  }
   std::vector<std::string> contents;
   contents.reserve(inputs.size());
   for (const std::string& p : inputs) contents.push_back(read_file(p));
-  const std::string merged = exp::ResultWriter::merge_csv(contents);
+  const std::string merged = json ? exp::ResultWriter::merge_json(contents)
+                                  : exp::ResultWriter::merge_csv(contents);
   if (out_path.empty() || out_path == "-") {
     std::fputs(merged.c_str(), stdout);
   } else {
@@ -222,6 +297,13 @@ int cmd_defenses() {
   return 0;
 }
 
+int cmd_strategies() {
+  for (const std::string& name : client::StrategyFactory::instance().names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -233,6 +315,7 @@ int main(int argc, char** argv) {
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "validate") return cmd_validate(args);
     if (cmd == "defenses") return cmd_defenses();
+    if (cmd == "strategies") return cmd_strategies();
     if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(stdout);
     std::fprintf(stderr, "speakup: unknown command '%s'\n\n", cmd.c_str());
     return usage(stderr);
