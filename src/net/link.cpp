@@ -24,21 +24,50 @@ void Link::send(NodeId from, Packet p) {
 
 void Link::transmit(Direction& d, Packet p) {
   const Duration tx = d.rate.transmission_time(p.wire_size);
-  sim::EventLoop& loop = net_->loop();
-  loop.schedule(tx, [this, &d, p = std::move(p)]() mutable {
-    // Serialization finished: the packet propagates (non-blocking)...
-    d.delivered_bytes += p.wire_size;
-    const NodeId to = d.dst;
-    net_->loop().schedule(d.delay, [this, to, p = std::move(p)]() mutable {
-      net_->deliver(to, std::move(p));
-    });
-    // ...and the transmitter picks up the next queued packet.
-    if (auto next = d.queue.pop()) {
-      transmit(d, std::move(*next));
-    } else {
-      d.transmitting = false;
-    }
-  });
+  const std::uint32_t slot = acquire(std::move(p), d);
+  net_->loop().schedule(tx, [this, slot] { on_serialized(slot); });
+}
+
+void Link::on_serialized(std::uint32_t slot) {
+  // Serialization finished: the packet propagates (non-blocking)...
+  Direction& d = *pool_[slot].dir;
+  d.delivered_bytes += pool_[slot].pkt.wire_size;
+  net_->loop().schedule(d.delay, [this, slot] { on_propagated(slot); });
+  // ...and the transmitter picks up the next queued packet. (This may grow
+  // the pool; `d` is a Link member, so the reference stays valid.)
+  if (auto next = d.queue.pop()) {
+    transmit(d, std::move(*next));
+  } else {
+    d.transmitting = false;
+  }
+}
+
+void Link::on_propagated(std::uint32_t slot) {
+  Packet p = std::move(pool_[slot].pkt);
+  const NodeId to = pool_[slot].dir->dst;
+  // Recycle before delivering: on_packet may synchronously send more
+  // traffic through this very link.
+  release(slot);
+  net_->deliver(to, std::move(p));
+}
+
+std::uint32_t Link::acquire(Packet&& p, Direction& d) {
+  std::uint32_t slot;
+  if (free_head_ != kNilSlot) {
+    slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+  } else {
+    pool_.emplace_back();
+    slot = static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+  pool_[slot].pkt = p;
+  pool_[slot].dir = &d;
+  return slot;
+}
+
+void Link::release(std::uint32_t slot) {
+  pool_[slot].next_free = free_head_;
+  free_head_ = slot;
 }
 
 }  // namespace speakup::net

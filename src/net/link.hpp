@@ -4,9 +4,15 @@
 // drop-tail queue, modeled store-and-forward: a packet is dequeued, occupies
 // the transmitter for wire_size/rate, then arrives after the propagation
 // delay (propagation does not block the next transmission).
+//
+// Hot-path note: each in-flight packet is carried by one pooled record that
+// lives through both phases (serialization, then propagation); the event
+// callbacks capture only {this, slot}, so pushing a packet through a link
+// performs zero heap allocations at steady state (see docs/performance.md).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "net/queue.hpp"
@@ -57,7 +63,21 @@ class Link {
     Bytes delivered_bytes = 0;
   };
 
+  /// One pooled record per in-flight packet: the packet plus its direction,
+  /// reused across the serialize -> propagate -> deliver phases and then
+  /// recycled through a free list.
+  struct InFlight {
+    Packet pkt;
+    Direction* dir = nullptr;
+    std::uint32_t next_free = kNilSlot;
+  };
+  static constexpr std::uint32_t kNilSlot = UINT32_MAX;
+
   void transmit(Direction& d, Packet p);
+  void on_serialized(std::uint32_t slot);
+  void on_propagated(std::uint32_t slot);
+  std::uint32_t acquire(Packet&& p, Direction& d);
+  void release(std::uint32_t slot);
   Direction& dir_for(NodeId from) { return from == a_ ? ab_ : ba_; }
   [[nodiscard]] const Direction& dir_for(NodeId from) const { return from == a_ ? ab_ : ba_; }
 
@@ -66,6 +86,8 @@ class Link {
   NodeId b_;
   Direction ab_;
   Direction ba_;
+  std::vector<InFlight> pool_;
+  std::uint32_t free_head_ = kNilSlot;
 };
 
 }  // namespace speakup::net

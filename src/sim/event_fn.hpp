@@ -1,0 +1,89 @@
+// Small-buffer-only callback type for the event loop's hot path.
+//
+// A scheduled callback in this simulator is almost always a tiny closure —
+// `[this]`, `[this, slot]`, a couple of references — yet std::function heap-
+// allocates anything bigger than its two-pointer SBO. EventFn stores the
+// callable inline in a fixed 64-byte buffer and refuses (at compile time)
+// anything larger, so EventLoop::schedule never touches the allocator. A
+// call site that genuinely needs a big capture can wrap it in a
+// shared_ptr/unique_ptr and capture the pointer — making the allocation
+// explicit and visible at the call site instead of hidden in the loop.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace speakup::sim {
+
+class EventFn {
+ public:
+  /// Inline storage size. Sized for the largest hot-path closure (a Packet
+  /// plus a pointer) with headroom for test/bench lambdas.
+  static constexpr std::size_t kCapacity = 64;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>, "EventFn callable must be invocable as void()");
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "closure too large for EventFn's inline buffer; capture a "
+                  "(shared_)ptr to the state instead of the state itself");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned closures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "EventFn callables must be nothrow-movable (the event slab "
+                  "relocates records when it grows)");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* b) { (*std::launder(static_cast<Fn*>(b)))(); };
+    relocate_ = [](void* src, void* dst) noexcept {
+      Fn* fn = std::launder(static_cast<Fn*>(src));
+      if (dst != nullptr) ::new (dst) Fn(std::move(*fn));
+      fn->~Fn();
+    };
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(buf_); }
+
+  /// Destroys the stored callable (no-op when empty).
+  void reset() {
+    if (relocate_ != nullptr) relocate_(buf_, nullptr);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+  }
+
+ private:
+  void move_from(EventFn& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    if (other.relocate_ != nullptr) other.relocate_(other.buf_, buf_);
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kCapacity];
+  void (*invoke_)(void*) = nullptr;
+  // Moves the callable from src into dst (destroying src), or just destroys
+  // src when dst is nullptr. One pointer covers move + destroy.
+  void (*relocate_)(void* src, void* dst) noexcept = nullptr;
+};
+
+}  // namespace speakup::sim

@@ -1,19 +1,32 @@
 // Deterministic discrete-event loop.
 //
-// The loop owns a virtual clock and a priority queue of (fire-time, sequence,
-// callback). Ties on fire-time are broken by insertion order, which — with
+// The loop owns a virtual clock and a binary heap of (fire-time, sequence)
+// entries. Ties on fire-time are broken by insertion order, which — with
 // per-component RNG streams (util/rng.hpp) — makes whole experiments
-// bit-reproducible. Events are cancellable; cancellation is lazy (the entry
-// stays in the heap with a tombstone flag) so both schedule and cancel are
-// O(log n) / O(1).
+// bit-reproducible.
+//
+// Hot-path design (this is the innermost loop of every experiment):
+//   - Callbacks live in a slab (vector) of pooled records recycled through
+//     a free list; EventIds address records by (slot, generation), so
+//     neither schedule nor cancel ever touches the allocator once the slab
+//     and heap have reached their steady-state size.
+//   - The callback type is sim::EventFn — a 64-byte in-place closure that
+//     refuses oversized captures at compile time (see event_fn.hpp).
+//   - Heap entries are 24-byte PODs; the callable itself never moves while
+//     the heap sifts.
+//   - Cancellation is O(1): bump the record's generation and free the slot;
+//     the heap entry remains as a tombstone. Tombstones are shed when they
+//     reach the top, and the heap is compacted whenever tombstones exceed
+//     half its size, so cancel-heavy workloads (per-request retry timers)
+//     cannot grow it without bound. Compaction preserves the (time, seq)
+//     order exactly, so determinism is unaffected.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "util/assert.hpp"
 #include "util/units.hpp"
 
@@ -22,20 +35,22 @@ namespace speakup::sim {
 class EventLoop;
 
 /// Handle to a scheduled event; lets the owner cancel it. Default-constructed
-/// handles are inert. Copies share the same underlying event.
+/// handles are inert. Copies address the same underlying event (a generation
+/// check makes stale copies harmless). Plain trivially-copyable value — no
+/// reference counting. Must not be queried after its EventLoop is destroyed.
 class EventId {
  public:
   EventId() = default;
-  [[nodiscard]] bool valid() const { return state_ != nullptr; }
-  [[nodiscard]] bool pending() const { return state_ && !state_->done; }
+  [[nodiscard]] bool valid() const { return loop_ != nullptr; }
+  [[nodiscard]] inline bool pending() const;
 
  private:
   friend class EventLoop;
-  struct State {
-    bool done = false;  // fired or cancelled
-  };
-  explicit EventId(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventId(EventLoop* loop, std::uint32_t slot, std::uint32_t gen)
+      : loop_(loop), slot_(slot), gen_(gen) {}
+  EventLoop* loop_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class EventLoop {
@@ -46,43 +61,70 @@ class EventLoop {
 
   [[nodiscard]] SimTime now() const { return now_; }
 
+  /// The representable horizon: the last instant an event can fire at.
+  static constexpr SimTime max_time() { return SimTime::from_ns(INT64_MAX); }
+
   /// Schedules `fn` to run `delay` from now. Returns a cancellation handle.
-  EventId schedule(Duration delay, std::function<void()> fn) {
+  /// A delay that would overflow the clock saturates to max_time() (so
+  /// Duration::infinite() and friends behave as "at the end of time", not
+  /// as a wrapped-negative assertion failure).
+  EventId schedule(Duration delay, EventFn fn) {
     SPEAKUP_ASSERT(delay >= Duration::zero());
-    return schedule_at(now_ + delay, std::move(fn));
+    const std::int64_t headroom = max_time().ns() - now_.ns();
+    const SimTime when =
+        delay.ns() > headroom ? max_time() : now_ + delay;
+    return schedule_at(when, std::move(fn));
   }
 
-  /// Schedules `fn` at an absolute time (must not be in the past).
-  EventId schedule_at(SimTime when, std::function<void()> fn) {
-    SPEAKUP_ASSERT(when >= now_);
-    auto state = std::make_shared<EventId::State>();
-    heap_.push(Entry{when, next_seq_++, std::move(fn), state});
+  /// Schedules `fn` at an absolute time. Rejects times in the past or past
+  /// the representable horizon with a diagnostic (a negative `when` is
+  /// almost always an overflowed Duration arithmetic upstream).
+  EventId schedule_at(SimTime when, EventFn fn) {
+    if (when < now_) {
+      util::require(false, "EventLoop::schedule_at: time " + std::to_string(when.ns()) +
+                               "ns is before now " + std::to_string(now_.ns()) +
+                               "ns (negative times usually mean Duration overflow)");
+    }
+    const std::uint32_t slot = acquire_slot();
+    Record& rec = slab_[slot];
+    rec.fn = std::move(fn);
+    rec.armed = true;
+    heap_.push_back(HeapEntry{when.ns(), next_seq_++, slot, rec.gen});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
     ++pending_;
-    return EventId{std::move(state)};
+    return EventId{this, slot, rec.gen};
   }
 
   /// Cancels a pending event; no-op if it already fired or was cancelled.
+  /// O(1): the heap entry stays behind as a tombstone (see maybe_compact).
   void cancel(EventId& id) {
-    if (id.state_ && !id.state_->done) {
-      id.state_->done = true;
+    if (id.loop_ == this && slot_pending(id.slot_, id.gen_)) {
+      Record& rec = slab_[id.slot_];
+      rec.armed = false;
+      rec.fn.reset();  // release captured state promptly
+      ++rec.gen;
+      release_slot(id.slot_);
       --pending_;
+      ++tombstones_;
+      maybe_compact();
     }
-    id.state_.reset();
+    id.loop_ = nullptr;
   }
 
   /// Runs events until the queue empties or the clock passes `end`; the
   /// clock then reads `end` (time passes even when nothing happens).
   /// Events scheduled exactly at `end` do run.
   void run_until(SimTime end) {
-    while (step(end)) {
+    while (step(end.ns())) {
     }
     if (now_ < end) now_ = end;
   }
 
   /// Runs until no events remain, leaving the clock at the last event (use
-  /// with care: self-rescheduling processes make this unbounded).
+  /// with care: self-rescheduling processes make this unbounded). Drains
+  /// genuinely everything — there is no silent internal horizon.
   void run() {
-    while (step(SimTime::from_ns(INT64_MAX / 8))) {
+    while (step(max_time().ns())) {
     }
   }
 
@@ -92,40 +134,110 @@ class EventLoop {
   /// Total events executed so far (for performance reporting).
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
- private:
-  /// Fires the next due event (<= end); returns false if none.
-  bool step(SimTime end) {
-    while (!heap_.empty() && heap_.top().state->done) heap_.pop();  // tombstones
-    if (heap_.empty() || heap_.top().when > end) return false;
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    --pending_;
-    ++executed_;
-    SPEAKUP_ASSERT(e.when >= now_);
-    now_ = e.when;
-    e.state->done = true;
-    e.fn();
-    return true;
-  }
+  /// Heap entries currently held, including tombstones (introspection for
+  /// tests of the compaction policy).
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
 
-  struct Entry {
-    SimTime when;
+ private:
+  friend class EventId;
+
+  static constexpr std::uint32_t kNilSlot = UINT32_MAX;
+  /// Below this size the heap is left alone: compacting a few dozen entries
+  /// buys nothing and would thrash on small workloads.
+  static constexpr std::size_t kCompactMin = 64;
+
+  struct Record {
+    EventFn fn;
+    std::uint32_t gen = 0;
+    bool armed = false;
+    std::uint32_t next_free = kNilSlot;
+  };
+
+  struct HeapEntry {
+    std::int64_t when_ns;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<EventId::State> state;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.when_ns != b.when_ns) return a.when_ns > b.when_ns;
       return a.seq > b.seq;
     }
   };
+
+  [[nodiscard]] bool slot_pending(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < slab_.size() && slab_[slot].gen == gen && slab_[slot].armed;
+  }
+  [[nodiscard]] bool live(const HeapEntry& e) const {
+    return slab_[e.slot].gen == e.gen && slab_[e.slot].armed;
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNilSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slab_[slot].next_free;
+      return slot;
+    }
+    slab_.emplace_back();
+    return static_cast<std::uint32_t>(slab_.size() - 1);
+  }
+
+  void release_slot(std::uint32_t slot) {
+    slab_[slot].next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  /// Fires the next due event (<= end_ns); returns false if none.
+  bool step(std::int64_t end_ns) {
+    while (!heap_.empty() && !live(heap_.front())) {  // shed tombstones
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      --tombstones_;
+    }
+    if (heap_.empty() || heap_.front().when_ns > end_ns) return false;
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    Record& rec = slab_[top.slot];
+    SPEAKUP_ASSERT(top.when_ns >= now_.ns());
+    now_ = SimTime::from_ns(top.when_ns);
+    // Retire the record before invoking: the callback may schedule (reusing
+    // this very slot), cancel, or destroy its own captures.
+    EventFn fn = std::move(rec.fn);
+    rec.armed = false;
+    ++rec.gen;
+    release_slot(top.slot);
+    --pending_;
+    ++executed_;
+    fn();
+    return true;
+  }
+
+  /// Rebuilds the heap without tombstones once they outnumber live entries.
+  /// The comparator is a total order over unique (time, seq) pairs, so the
+  /// rebuilt heap pops in exactly the same order as the lazy one.
+  void maybe_compact() {
+    if (heap_.size() < kCompactMin || tombstones_ * 2 <= heap_.size()) return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const HeapEntry& e) { return !live(e); }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    tombstones_ = 0;
+  }
 
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t pending_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::size_t tombstones_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Record> slab_;
+  std::uint32_t free_head_ = kNilSlot;
 };
+
+inline bool EventId::pending() const {
+  return loop_ != nullptr && loop_->slot_pending(slot_, gen_);
+}
 
 }  // namespace speakup::sim

@@ -1,6 +1,13 @@
 // A restartable one-shot timer on top of EventLoop, used for protocol
 // timeouts (TCP RTO, payment-channel expiry, client request timeouts).
 // Restarting implicitly cancels the previous arming.
+//
+// Hot-path note: arming schedules an 8-byte `[this]` closure, which lands
+// in the event slab's inline buffer — restart/cancel churn (every TCP
+// segment re-arms the RTO) performs no heap allocation. The fire path
+// copies the stored std::function before invoking (see restart()); that
+// copy is also allocation-free for captures within std::function's SBO,
+// which covers every timer in the tree (`[this]`-sized).
 #pragma once
 
 #include <functional>

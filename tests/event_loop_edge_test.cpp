@@ -1,0 +1,364 @@
+// Edge-case tests for the slab-based event loop: horizon/overflow handling,
+// generation-counted cancellation (including via copied handles), tombstone
+// compaction bounds, in-callback schedule/cancel semantics, and the
+// zero-steady-state-allocation guarantee of schedule and the Link packet
+// pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/event_fn.hpp"
+#include "sim/event_loop.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Overriding operator new in this test binary
+// lets the steady-state tests assert that a measured region performs zero
+// heap allocations. Only the *delta* inside a measured region matters;
+// gtest and the warm-up phases may allocate freely.
+// ---------------------------------------------------------------------------
+namespace {
+std::int64_t g_allocations = 0;
+}  // namespace
+
+namespace {
+void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace speakup::sim {
+namespace {
+
+// --- horizon & overflow ----------------------------------------------------
+
+TEST(EventLoopEdge, RunDrainsEventsNearTheHorizon) {
+  // The old loop silently capped run() at INT64_MAX / 8 ns; events at or
+  // past that never fired and the caller got no signal.
+  EventLoop loop;
+  std::vector<int> fired;
+  loop.schedule_at(SimTime::from_ns(INT64_MAX / 8), [&] { fired.push_back(1); });
+  loop.schedule_at(SimTime::from_ns(INT64_MAX / 2), [&] { fired.push_back(2); });
+  loop.schedule_at(EventLoop::max_time(), [&] { fired.push_back(3); });
+  loop.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_EQ(loop.now().ns(), EventLoop::max_time().ns());
+}
+
+TEST(EventLoopEdge, OverflowingDelaySaturatesToHorizon) {
+  // now + delay would wrap negative; the loop must saturate, not trip an
+  // assert with a misleading message (or worse, pass a negative time).
+  EventLoop loop;
+  loop.schedule(Duration::millis(1), [] {});
+  loop.run();  // advance the clock so now_ > 0
+  int fired = 0;
+  EventId id = loop.schedule(Duration::nanos(INT64_MAX), [&] { ++fired; });
+  EXPECT_TRUE(id.pending());
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now().ns(), EventLoop::max_time().ns());
+}
+
+TEST(EventLoopEdge, InfiniteDurationIsSchedulableAndOrdered) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(Duration::infinite(), [&] { order.push_back(1); });
+  loop.schedule(Duration::nanos(INT64_MAX), [&] { order.push_back(2); });  // saturates later
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoopEdge, ScheduleAtRejectsPastTimesWithDiagnostic) {
+  EventLoop loop;
+  loop.schedule(Duration::millis(5), [] {});
+  loop.run();
+  // A wrapped-negative SimTime (the classic overflow symptom) is rejected
+  // with an explanation instead of an opaque assert.
+  EXPECT_THROW((void)loop.schedule_at(SimTime::from_ns(-1), [] {}), std::invalid_argument);
+  EXPECT_THROW((void)loop.schedule_at(SimTime::from_ns(1), [] {}), std::invalid_argument);
+}
+
+// --- cancellation via copies & generations ---------------------------------
+
+TEST(EventLoopEdge, CancelViaCopiedEventId) {
+  EventLoop loop;
+  int fired = 0;
+  EventId original = loop.schedule(Duration::millis(10), [&] { ++fired; });
+  EventId copy = original;
+  loop.cancel(copy);
+  EXPECT_FALSE(copy.valid());       // the handle passed to cancel is reset
+  EXPECT_TRUE(original.valid());    // the sibling copy is untouched...
+  EXPECT_FALSE(original.pending()); // ...but sees the event as gone
+  loop.run();
+  EXPECT_EQ(fired, 0);
+  // Cancelling again through the stale sibling is a harmless no-op.
+  loop.cancel(original);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoopEdge, StaleIdDoesNotCancelSlotReuse) {
+  // After an event fires, its slab slot is recycled. A stale handle to the
+  // fired event must not be able to cancel the new occupant.
+  EventLoop loop;
+  EventId first = loop.schedule(Duration::millis(1), [] {});
+  loop.run();
+  int fired = 0;
+  EventId second = loop.schedule(Duration::millis(1), [&] { ++fired; });
+  loop.cancel(first);  // stale generation: must not touch `second`
+  EXPECT_TRUE(second.pending());
+  loop.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopEdge, CancelAndScheduleFromInsideFiringCallback) {
+  EventLoop loop;
+  std::vector<int> fired;
+  EventId doomed;
+  loop.schedule(Duration::millis(1), [&] {
+    fired.push_back(1);
+    loop.cancel(doomed);                                        // cancel a later event
+    loop.schedule(Duration::millis(1), [&] { fired.push_back(3); });  // and add a new one
+  });
+  doomed = loop.schedule(Duration::millis(2), [&] { fired.push_back(2); });
+  loop.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventLoopEdge, OwnEventIsNotPendingInsideItsCallback) {
+  EventLoop loop;
+  EventId self;
+  bool pending_inside = true;
+  self = loop.schedule(Duration::millis(1), [&] {
+    pending_inside = self.pending();
+    loop.cancel(self);  // cancelling yourself mid-flight is a no-op
+  });
+  loop.run();
+  EXPECT_FALSE(pending_inside);
+  EXPECT_EQ(loop.executed_events(), 1u);
+}
+
+TEST(EventLoopEdge, ZeroDelaySelfReschedulingOrder) {
+  // Zero-delay events run at the same instant but strictly after anything
+  // already queued for that instant (sequence order), and a zero-delay
+  // chain makes progress in insertion order.
+  EventLoop loop;
+  std::vector<char> order;
+  loop.schedule(Duration::millis(1), [&] {
+    order.push_back('a');
+    loop.schedule(Duration::zero(), [&] {
+      order.push_back('c');
+      loop.schedule(Duration::zero(), [&] { order.push_back('d'); });
+    });
+  });
+  loop.schedule(Duration::millis(1), [&] { order.push_back('b'); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'c', 'd'}));
+  EXPECT_DOUBLE_EQ(loop.now().sec(), 0.001);
+}
+
+// --- tombstones & compaction -----------------------------------------------
+
+TEST(EventLoopEdge, PendingCountIsAccurateUnderTombstones) {
+  EventLoop loop;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(loop.schedule(Duration::millis(10 + i), [] {}));
+  }
+  for (int i = 0; i < 60; ++i) loop.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(loop.pending_events(), 40u);
+  loop.run();
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_EQ(loop.executed_events(), 40u);
+}
+
+TEST(EventLoopEdge, CancelHeavyWorkloadKeepsHeapBounded) {
+  // The retry-timer pattern: every tick arms timeouts far in the future and
+  // cancels the previous tick's. Before compaction existed, the heap grew
+  // by ~8 tombstones per tick for the whole timeout window.
+  EventLoop loop;
+  std::vector<EventId> armed;
+  armed.reserve(8);
+  int ticks = 0;
+  std::size_t max_heap = 0;
+  struct Driver {
+    EventLoop* loop;
+    std::vector<EventId>* armed;
+    int* ticks;
+    std::size_t* max_heap;
+    void operator()() const {
+      for (EventId& id : *armed) loop->cancel(id);
+      armed->clear();
+      for (int i = 0; i < 8; ++i) {
+        armed->push_back(loop->schedule(Duration::millis(10), [] {}));
+      }
+      *max_heap = std::max(*max_heap, loop->heap_size());
+      if (++*ticks < 5000) loop->schedule(Duration::micros(1), Driver{*this});
+    }
+  };
+  loop.schedule(Duration::micros(1), Driver{&loop, &armed, &ticks, &max_heap});
+  loop.run();
+  EXPECT_EQ(ticks, 5000);
+  // Live events never exceed 9 (8 timers + driver); the compaction policy
+  // bounds the heap at 2x live + the no-compact floor. Without compaction
+  // this workload peaks at tens of thousands of entries.
+  EXPECT_LE(max_heap, 2u * 9u + 64u);
+}
+
+TEST(EventLoopEdge, MassCancellationCompactsTheHeap) {
+  EventLoop loop;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(loop.schedule(Duration::millis(100 + i), [] {}));
+  }
+  EXPECT_EQ(loop.heap_size(), 1000u);
+  for (EventId& id : ids) loop.cancel(id);
+  EXPECT_EQ(loop.pending_events(), 0u);
+  // Everything is dead; compaction must have shrunk the heap below the
+  // no-compact floor instead of leaving 1000 tombstones.
+  EXPECT_LT(loop.heap_size(), 64u);
+  loop.run();
+  EXPECT_EQ(loop.executed_events(), 0u);
+}
+
+TEST(EventLoopEdge, CompactionPreservesFiringOrder) {
+  EventLoop loop;
+  std::vector<int> fired;
+  std::vector<EventId> doomed;
+  // Interleave survivors and victims at identical times so the rebuilt heap
+  // must preserve (time, seq) ordering exactly.
+  for (int i = 0; i < 200; ++i) {
+    const int tag = i;
+    loop.schedule(Duration::millis(5 + (i % 3)), [&fired, tag] { fired.push_back(tag); });
+    doomed.push_back(loop.schedule(Duration::millis(5 + (i % 3)), [] {}));
+  }
+  for (EventId& id : doomed) loop.cancel(id);  // triggers compaction mid-way
+  loop.run();
+  ASSERT_EQ(fired.size(), 200u);
+  // Expected order: by (time, insertion seq) — i.e. all i%3==0 first in
+  // insertion order, then i%3==1, then i%3==2.
+  std::vector<int> expected;
+  for (int phase = 0; phase < 3; ++phase) {
+    for (int i = phase; i < 200; i += 3) expected.push_back(i);
+  }
+  EXPECT_EQ(fired, expected);
+}
+
+// --- EventFn ---------------------------------------------------------------
+
+TEST(EventFnTest, MoveTransfersAndEmptiesSource) {
+  int calls = 0;
+  EventFn a = [&calls] { ++calls; };
+  EXPECT_TRUE(static_cast<bool>(a));
+  EventFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): testing the contract
+  b();
+  EXPECT_EQ(calls, 1);
+  b.reset();
+  EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(EventFnTest, DestroysCapturesExactlyOnce) {
+  struct Probe {
+    int* dtors;
+    Probe(int* d) : dtors(d) {}
+    Probe(Probe&& o) noexcept : dtors(o.dtors) { o.dtors = nullptr; }
+    Probe(const Probe&) = delete;
+    ~Probe() {
+      if (dtors != nullptr) ++*dtors;
+    }
+    void operator()() const {}
+  };
+  int dtors = 0;
+  {
+    EventFn f{Probe{&dtors}};
+    EventFn g = std::move(f);
+    (void)g;
+  }
+  EXPECT_EQ(dtors, 1);
+}
+
+// --- zero steady-state allocations -----------------------------------------
+
+TEST(EventLoopEdge, SteadyStateScheduleCancelFireIsAllocationFree) {
+  EventLoop loop;
+  std::vector<EventId> ids;
+  ids.reserve(64);
+  long fired = 0;
+  // Warm-up: grow the slab, heap, and this test's own vectors.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      ids.push_back(loop.schedule(Duration::millis(10), [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 25; ++i) loop.cancel(ids[static_cast<std::size_t>(i)]);
+    ids.clear();
+    loop.run();
+  }
+  // Measured region: the same churn must not allocate at all.
+  const std::int64_t before = g_allocations;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      ids.push_back(loop.schedule(Duration::millis(10), [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 25; ++i) loop.cancel(ids[static_cast<std::size_t>(i)]);
+    ids.clear();
+    loop.run();
+  }
+  const std::int64_t delta = g_allocations - before;
+  EXPECT_EQ(delta, 0) << "EventLoop schedule/cancel/fire allocated in steady state";
+}
+
+class Reflector : public net::Node {
+ public:
+  Reflector(net::Network& net, net::NodeId id, std::string name)
+      : net::Node(net, id, std::move(name)) {}
+  void on_packet(net::Packet p) override {
+    if (!reply_) return;
+    network().forward(id(), net::make_data_packet(id(), 1, p.src, 1, 0, 500));
+  }
+  void stop() { reply_ = false; }
+
+ private:
+  bool reply_ = true;
+};
+
+TEST(LinkHotPath, SteadyStatePacketPipelineIsAllocationFree) {
+  EventLoop loop;
+  net::Network net(loop);
+  auto& a = net.add_node<Reflector>("a");
+  auto& b = net.add_node<Reflector>("b");
+  net.connect(a, b, net::LinkSpec{Bandwidth::mbps(100.0), Duration::micros(100), 1'000'000});
+  net.build_routes();
+  for (int i = 0; i < 8; ++i) {
+    net.forward(a.id(), net::make_data_packet(a.id(), 1, b.id(), 1, 0, 500));
+  }
+  // Warm-up: let the link pool, queue ring, and heap reach steady state.
+  loop.run_until(loop.now() + Duration::seconds(1.0));
+  const std::uint64_t warm_events = loop.executed_events();
+  // Measured region: a long steady-state stretch of the packet pipeline.
+  const std::int64_t before = g_allocations;
+  loop.run_until(loop.now() + Duration::seconds(10.0));
+  const std::int64_t delta = g_allocations - before;
+  EXPECT_EQ(delta, 0) << "Link::transmit pipeline allocated in steady state";
+  EXPECT_GT(loop.executed_events(), warm_events + 1000u);  // the region really ran traffic
+  a.stop();
+  b.stop();
+  loop.run();
+}
+
+}  // namespace
+}  // namespace speakup::sim

@@ -1,0 +1,50 @@
+// Pins the ExperimentResult fingerprints of the checked-in smoke sweep.
+//
+// The hot-path refactor contract is behavior-invisibility: rewriting the
+// event representation, the Link packet pipeline, or the queue storage must
+// not change a single simulated outcome. fingerprint() hashes every counter
+// in the result INCLUDING events_executed, so even an extra or re-ordered
+// event trips this test. The constants below were captured from the
+// pre-refactor (PR 3) tree; if a future change legitimately alters
+// simulation behavior, re-pin them in the same commit that explains why.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/scenario_io.hpp"
+
+namespace speakup::exp {
+namespace {
+
+std::string hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+TEST(HotPathFingerprint, SmokeSweepMatchesPreRefactorPins) {
+  const ScenarioFile file = load_scenario_file(std::string(SPEAKUP_SCENARIO_DIR) + "/smoke.json");
+  // label -> fingerprint, captured at PR 3 (seed event loop, pre-slab).
+  const std::vector<std::pair<std::string, std::string>> pins = {
+      {"smoke/none", "5926ff42af7d304f"},
+      {"smoke/retry", "6f503a28a37defd5"},
+      {"smoke/auction", "058ae2081de114a0"},
+      {"smoke/quantum", "785972ef788a9750"},
+      {"smoke/auction-seeds/seed7", "058ae2081de114a0"},
+      {"smoke/auction-seeds/seed8", "9bf42045de308896"},
+  };
+  ASSERT_EQ(file.scenarios.size(), pins.size());
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    const LabeledScenario& s = file.scenarios[i];
+    ASSERT_EQ(s.label, pins[i].first) << "scenario order changed; re-check pins";
+    const ExperimentResult r = run_scenario(s.config);
+    EXPECT_EQ(hex(r.fingerprint()), pins[i].second)
+        << "behavior drift in '" << s.label << "' (events_executed=" << r.events_executed << ")";
+  }
+}
+
+}  // namespace
+}  // namespace speakup::exp
