@@ -8,11 +8,16 @@
 //     client-count-proportional ideal;
 //   - the fraction of bottlenecked good requests served, vs an ideal that
 //     scales each bottlenecked client to 2*(40/60) Mbit/s.
+//
+// The grid lives in scenarios/shared_bottleneck.json (one scenario per
+// mix, labeled "good/bad"); `speakup run` on that file reproduces these
+// numbers exactly.
 #include <iostream>
 #include <string>
 
 #include "bench/bench_common.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
 #include "stats/table.hpp"
 
 namespace {
@@ -25,43 +30,6 @@ struct Mix {
   }
 };
 
-speakup::exp::ScenarioConfig scenario(const Mix& mix) {
-  using namespace speakup;
-  exp::ScenarioConfig cfg;
-  cfg.mode = exp::DefenseMode::kAuction;
-  cfg.capacity_rps = 50.0;
-  cfg.seed = 27;
-  cfg.duration = bench::experiment_duration();
-  cfg.bottleneck =
-      exp::BottleneckSpec{Bandwidth::mbps(40.0), Duration::micros(500), 100'000};
-
-  exp::ClientGroupSpec direct_good;
-  direct_good.label = "direct-good";
-  direct_good.count = 10;
-  direct_good.workload = client::good_client_params();
-  cfg.groups.push_back(direct_good);
-
-  exp::ClientGroupSpec direct_bad = direct_good;
-  direct_bad.label = "direct-bad";
-  direct_bad.workload = client::bad_client_params();
-  cfg.groups.push_back(direct_bad);
-
-  exp::ClientGroupSpec bn_good;
-  bn_good.label = "bn-good";
-  bn_good.count = mix.good;
-  bn_good.workload = client::good_client_params();
-  bn_good.behind_bottleneck = true;
-  cfg.groups.push_back(bn_good);
-
-  exp::ClientGroupSpec bn_bad;
-  bn_bad.label = "bn-bad";
-  bn_bad.count = mix.bad;
-  bn_bad.workload = client::bad_client_params();
-  bn_bad.behind_bottleneck = true;
-  cfg.groups.push_back(bn_bad);
-  return cfg;
-}
-
 }  // namespace
 
 int main() {
@@ -72,11 +40,13 @@ int main() {
       "than the proportional ideal because bad clients 'hog' l with many "
       "concurrent connections");
 
-  const Mix mixes[] = {{25, 5}, {15, 15}, {5, 25}};
+  exp::ScenarioFile file = bench::load_scenarios("shared_bottleneck.json");
+  bench::apply_full_duration(file);
   exp::Runner runner;
-  for (const Mix& mix : mixes) runner.add(scenario(mix), mix.label());
+  file.queue_on(runner);
   bench::run_all(runner);
 
+  const Mix mixes[] = {{25, 5}, {15, 15}, {5, 25}};
   stats::Table table({"mix(bn-good/bn-bad)", "bn-share-good", "bn-share-bad",
                       "ideal-good", "ideal-bad", "frac-bn-good-served"});
   for (const Mix& mix : mixes) {

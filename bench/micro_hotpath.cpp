@@ -17,6 +17,9 @@
 //                    always cancelled before firing (tombstone pressure)
 //   packet_pipeline  packets ping-ponging across a Link (serialize +
 //                    propagate + deliver per hop)
+//   loss_recovery    2048 TCP bulk transfers crushing an oversubscribed
+//                    bottleneck: sustained queue loss, fast recovery, RTO
+//                    backoff, and a per-ack RTO re-arm on every flight
 //   smoke_scenario   full scenarios/smoke.json sweep, serial (end to end)
 //
 // ops_per_sec means executed events/sec except for cancel_heavy, where it
@@ -35,6 +38,7 @@
 #include "exp/scenario_io.hpp"
 #include "net/network.hpp"
 #include "sim/event_loop.hpp"
+#include "transport/host.hpp"
 #include "util/json.hpp"
 
 namespace speakup {
@@ -169,6 +173,56 @@ BenchResult bench_packet_pipeline(int repeat) {
     out.ops = static_cast<double>(loop.executed_events());
     out.sim_seconds = kSimSeconds;
   });
+}
+
+// --- loss_recovery: TCP under sustained loss -----------------------------
+//
+// Exercises the paths the other benches miss: the out-of-order interval
+// tracker (every drop leaves a hole at the receiver), fast retransmit /
+// recovery, RTO firing with exponential backoff, and — on every single
+// ack — an RTO timer re-arm (cancel + schedule ~200 ms out). 2048
+// connections keep a large pending-RTO population alive the whole run,
+// which is what separates an O(1) timer structure from an O(log n) one:
+// a heap pays for that population on every push, the wheel does not.
+
+BenchResult bench_loss_recovery(int repeat) {
+  constexpr int kConns = 2048;
+  constexpr double kSimSeconds = 20.0;
+  BenchResult best;
+  best.name = "loss_recovery";
+  best.ops_kind = "events_fired";
+  // Unlike the other benches, topology construction here is material
+  // (2048 hosts and links) and is not what this bench measures, so each
+  // run builds first and times only the simulation.
+  for (int r = 0; r < repeat; ++r) {
+    sim::EventLoop loop;
+    net::Network net(loop);
+    auto& server = net.add_node<transport::Host>("server");
+    auto& sw = net.add_switch("core");
+    // Heavily oversubscribed bottleneck with a shallow queue: the senders
+    // could generate >1 Gbit/s against 100 Mbit/s of service.
+    net.connect(sw, server,
+                net::LinkSpec{Bandwidth::mbps(100.0), Duration::millis(5), 30'000});
+    std::vector<transport::Host*> clients;
+    clients.reserve(kConns);
+    for (int i = 0; i < kConns; ++i) {
+      auto& c = net.add_node<transport::Host>("c" + std::to_string(i));
+      net.connect(c, sw, net::LinkSpec{Bandwidth::mbps(10.0), Duration::millis(1), 48'000});
+      clients.push_back(&c);
+    }
+    net.build_routes();
+    server.listen(80, [](transport::TcpConnection&) {});
+    for (auto* c : clients) c->connect(server.id(), 80).write(megabytes(1000));
+    const auto t0 = Clock::now();
+    loop.run_until(SimTime::zero() + Duration::seconds(kSimSeconds));
+    const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (r == 0 || wall < best.wall_seconds) {
+      best.wall_seconds = wall;
+      best.ops = static_cast<double>(loop.executed_events());
+      best.sim_seconds = kSimSeconds;
+    }
+  }
+  return best;
 }
 
 // --- smoke_scenario: the checked-in CI sweep, serial ---------------------
@@ -306,6 +360,7 @@ int run(int argc, char** argv) {
   results.push_back(bench_timer_churn(repeat));
   results.push_back(bench_cancel_heavy(repeat));
   results.push_back(bench_packet_pipeline(repeat));
+  results.push_back(bench_loss_recovery(repeat));
   results.push_back(bench_smoke_scenario(repeat));
   print_table(results);
 

@@ -1,7 +1,7 @@
 // Deterministic discrete-event loop.
 //
-// The loop owns a virtual clock and a binary heap of (fire-time, sequence)
-// entries. Ties on fire-time are broken by insertion order, which — with
+// The loop owns a virtual clock and orders events by (fire-time, sequence).
+// Ties on fire-time are broken by insertion order, which — with
 // per-component RNG streams (util/rng.hpp) — makes whole experiments
 // bit-reproducible.
 //
@@ -9,24 +9,32 @@
 //   - Callbacks live in a slab (vector) of pooled records recycled through
 //     a free list; EventIds address records by (slot, generation), so
 //     neither schedule nor cancel ever touches the allocator once the slab
-//     and heap have reached their steady-state size.
+//     and queues have reached their steady-state size.
 //   - The callback type is sim::EventFn — a 64-byte in-place closure that
 //     refuses oversized captures at compile time (see event_fn.hpp).
-//   - Heap entries are 24-byte PODs; the callable itself never moves while
-//     the heap sifts.
-//   - Cancellation is O(1): bump the record's generation and free the slot;
-//     the heap entry remains as a tombstone. Tombstones are shed when they
-//     reach the top, and the heap is compacted whenever tombstones exceed
-//     half its size, so cancel-heavy workloads (per-request retry timers)
-//     cannot grow it without bound. Compaction preserves the (time, seq)
-//     order exactly, so determinism is unaffected.
+//   - Pending events live in one of two stores. Deadlines between ~1 ms
+//     (the wheel's deliberate level-0 cutoff — see TimerWheel::insert) and
+//     ~275 s out sit in a hierarchical timer wheel (timer_wheel.hpp): O(1)
+//     schedule, O(1) eager cancel — the protocol-timeout pattern (every
+//     TCP ack re-arms the RTO) never touches the heap. Everything else
+//     (imminent or far-future) sits in a 4-ary implicit heap of 24-byte
+//     POD entries — shallower and more cache-friendly than the binary
+//     heap it replaced. The wheel never fires
+//     anything: due slots are drained into the heap, where entries re-sort
+//     by their original (time, seq) key, so firing order is bit-identical
+//     to a single-heap loop by construction.
+//   - Heap cancellation is O(1): bump the record's generation and free the
+//     slot; the heap entry remains as a tombstone. Tombstones are shed when
+//     they reach the top, and the heap is compacted whenever tombstones
+//     exceed half its size. Wheel cancellation unlinks eagerly and leaves
+//     no tombstone at all.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "sim/event_fn.hpp"
+#include "sim/timer_wheel.hpp"
 #include "util/assert.hpp"
 #include "util/units.hpp"
 
@@ -69,11 +77,7 @@ class EventLoop {
   /// Duration::infinite() and friends behave as "at the end of time", not
   /// as a wrapped-negative assertion failure).
   EventId schedule(Duration delay, EventFn fn) {
-    SPEAKUP_ASSERT(delay >= Duration::zero());
-    const std::int64_t headroom = max_time().ns() - now_.ns();
-    const SimTime when =
-        delay.ns() > headroom ? max_time() : now_ + delay;
-    return schedule_at(when, std::move(fn));
+    return schedule_at(saturated_deadline(delay), std::move(fn));
   }
 
   /// Schedules `fn` at an absolute time. Rejects times in the past or past
@@ -89,24 +93,52 @@ class EventLoop {
     Record& rec = slab_[slot];
     rec.fn = std::move(fn);
     rec.armed = true;
-    heap_.push_back(HeapEntry{when.ns(), next_seq_++, slot, rec.gen});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    file_entry(when, slot);
     ++pending_;
     return EventId{this, slot, rec.gen};
   }
 
+  /// Moves a still-pending event to a new deadline, keeping its callback.
+  /// Exactly equivalent to cancel(id) + schedule(delay, <same callback>) —
+  /// same generation bump, same (time, seq) ordering key, same slot-reuse
+  /// pattern — but skips destroying and re-creating the callback and the
+  /// free-list round-trip, which is what makes per-ack RTO re-arming cheap.
+  /// Precondition: the event is pending (restart-style callers check).
+  /// Invalidates `id` and every copy; returns the replacement handle.
+  EventId reschedule(EventId id, Duration delay) {
+    SPEAKUP_ASSERT(id.loop_ == this && slot_pending(id.slot_, id.gen_));
+    const SimTime when = saturated_deadline(delay);
+    Record& rec = slab_[id.slot_];
+    ++rec.gen;  // old handles (and any old heap entry) are now stale
+    if (rec.wheel_node != TimerWheel::kNil) {
+      wheel_.remove(rec.wheel_node);
+    } else {
+      ++tombstones_;
+      maybe_compact();
+    }
+    file_entry(when, id.slot_);
+    return EventId{this, id.slot_, rec.gen};
+  }
+
   /// Cancels a pending event; no-op if it already fired or was cancelled.
-  /// O(1): the heap entry stays behind as a tombstone (see maybe_compact).
+  /// O(1) either way: a wheel-resident event is unlinked eagerly; a
+  /// heap-resident one leaves a tombstone behind (see maybe_compact).
   void cancel(EventId& id) {
     if (id.loop_ == this && slot_pending(id.slot_, id.gen_)) {
       Record& rec = slab_[id.slot_];
       rec.armed = false;
       rec.fn.reset();  // release captured state promptly
       ++rec.gen;
-      release_slot(id.slot_);
       --pending_;
-      ++tombstones_;
-      maybe_compact();
+      if (rec.wheel_node != TimerWheel::kNil) {
+        wheel_.remove(rec.wheel_node);
+        rec.wheel_node = TimerWheel::kNil;
+        release_slot(id.slot_);
+      } else {
+        release_slot(id.slot_);
+        ++tombstones_;
+        maybe_compact();
+      }
     }
     id.loop_ = nullptr;
   }
@@ -135,8 +167,14 @@ class EventLoop {
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
   /// Heap entries currently held, including tombstones (introspection for
-  /// tests of the compaction policy).
+  /// tests of the compaction policy). Wheel-resident events are not
+  /// included — see wheel_size().
   [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
+
+  /// Events currently filed in the timer wheel (introspection for tests;
+  /// cancelled wheel events are unlinked eagerly, so this counts live
+  /// events only).
+  [[nodiscard]] std::size_t wheel_size() const { return wheel_.size(); }
 
  private:
   friend class EventId;
@@ -151,6 +189,9 @@ class EventLoop {
     std::uint32_t gen = 0;
     bool armed = false;
     std::uint32_t next_free = kNilSlot;
+    /// Wheel node handle while the event waits in the wheel; kNil once it
+    /// is heap-resident (imminent, far-future, or drained).
+    std::uint32_t wheel_node = TimerWheel::kNil;
   };
 
   struct HeapEntry {
@@ -159,12 +200,108 @@ class EventLoop {
     std::uint32_t slot;
     std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.when_ns != b.when_ns) return a.when_ns > b.when_ns;
-      return a.seq > b.seq;
+
+  /// The total order (when, seq): unique per entry, so every heap shape —
+  /// and the compaction rebuild — pops in exactly the same sequence.
+  /// Written with non-short-circuit operators so the comparison compiles
+  /// to straight-line code (cmov, no data-dependent branches): the min-of-
+  /// four-children scan in the sift loops is mispredict-bound otherwise.
+  [[nodiscard]] static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    return (a.when_ns < b.when_ns) |
+           ((a.when_ns == b.when_ns) & (a.seq < b.seq));
+  }
+
+  // --- 4-ary implicit heap over heap_ --------------------------------------
+  // Shallower than a binary heap (log4 vs log2 levels) and each node's four
+  // children share a cache line, so sift paths touch roughly half the lines.
+
+  void heap_push(const HeapEntry& e) {
+    heap_.push_back(e);
+    place_up(heap_.size() - 1, e);
+  }
+
+  /// Pop uses the classic hole-descent: walk the hole from the root to a
+  /// leaf always promoting the earliest child (no compare against the
+  /// displaced element on the way down), then bubble the displaced back()
+  /// element up from the leaf. The displaced element came from leaf depth,
+  /// so the bubble-up almost always stops immediately — this is the same
+  /// strategy libstdc++'s __adjust_heap uses, adapted to four children.
+  void heap_pop_front() {
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      heap_[i] = heap_[best];
+      i = best;
     }
-  };
+    place_up(i, e);
+  }
+
+  /// Moves `e` (destined for position i) up toward the root to its final
+  /// position. Precondition: heap_[i] is a hole (or e itself).
+  void place_up(std::size_t i, const HeapEntry& e) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!earlier(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  /// Standard Floyd heapify over the 4-ary layout (used after compaction):
+  /// sift each internal node down, deepest first.
+  void sift_down(std::size_t i) {
+    const HeapEntry e = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
+
+  void heap_rebuild() {
+    for (std::size_t i = heap_.size() / 4 + 1; i-- > 0;) sift_down(i);
+  }
+
+  /// now + delay, saturated to max_time() on overflow.
+  [[nodiscard]] SimTime saturated_deadline(Duration delay) const {
+    SPEAKUP_ASSERT(delay >= Duration::zero());
+    const std::int64_t headroom = max_time().ns() - now_.ns();
+    return delay.ns() > headroom ? max_time() : now_ + delay;
+  }
+
+  /// Files `slot`'s (deadline, fresh seq) key into the wheel when the
+  /// deadline qualifies, else the heap. The single place the store-choice
+  /// policy lives — schedule_at and reschedule must not diverge.
+  void file_entry(SimTime when, std::uint32_t slot) {
+    Record& rec = slab_[slot];
+    const std::uint64_t seq = next_seq_++;
+    const std::uint32_t node =
+        wheel_.insert(TimerWheel::Entry{when.ns(), seq, slot, rec.gen});
+    rec.wheel_node = node;
+    if (node == TimerWheel::kNil) {
+      heap_push(HeapEntry{when.ns(), seq, slot, rec.gen});
+    }
+  }
 
   [[nodiscard]] bool slot_pending(std::uint32_t slot, std::uint32_t gen) const {
     return slot < slab_.size() && slab_[slot].gen == gen && slab_[slot].armed;
@@ -188,17 +325,36 @@ class EventLoop {
     free_head_ = slot;
   }
 
-  /// Fires the next due event (<= end_ns); returns false if none.
-  bool step(std::int64_t end_ns) {
+  /// Moves every wheel slot that could precede the heap's next live entry
+  /// (or `end_ns`) into the heap, where the entries re-sort by (when, seq).
+  /// After this returns, the heap front — if due — is globally earliest.
+  void promote_due_wheel_slots(std::int64_t end_ns) {
     while (!heap_.empty() && !live(heap_.front())) {  // shed tombstones
-      std::pop_heap(heap_.begin(), heap_.end(), Later{});
-      heap_.pop_back();
+      heap_pop_front();
       --tombstones_;
     }
+    if (wheel_.empty()) return;
+    const std::int64_t heap_top = heap_.empty() ? INT64_MAX : heap_.front().when_ns;
+    const std::int64_t threshold = heap_top < end_ns ? heap_top : end_ns;
+    // Hint first: a cheap field read rules out a poll on almost every
+    // step. The hint is never too high, so trusting it cannot fire a
+    // heap event ahead of an earlier wheel entry.
+    if (wheel_.lower_bound_hint_ns() > threshold) return;
+    // poll drains every slot at or before the threshold, so afterwards no
+    // wheel entry can precede the (possibly new) heap front: drained
+    // entries are pushed live, and the heap top can only move earlier.
+    wheel_.poll(threshold, [this](const TimerWheel::Entry& e) {
+      slab_[e.slot].wheel_node = TimerWheel::kNil;
+      heap_push(HeapEntry{e.when_ns, e.seq, e.slot, e.gen});
+    });
+  }
+
+  /// Fires the next due event (<= end_ns); returns false if none.
+  bool step(std::int64_t end_ns) {
+    promote_due_wheel_slots(end_ns);
     if (heap_.empty() || heap_.front().when_ns > end_ns) return false;
     const HeapEntry top = heap_.front();
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+    heap_pop_front();
     Record& rec = slab_[top.slot];
     SPEAKUP_ASSERT(top.when_ns >= now_.ns());
     now_ = SimTime::from_ns(top.when_ns);
@@ -219,10 +375,12 @@ class EventLoop {
   /// rebuilt heap pops in exactly the same order as the lazy one.
   void maybe_compact() {
     if (heap_.size() < kCompactMin || tombstones_ * 2 <= heap_.size()) return;
-    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
-                               [this](const HeapEntry& e) { return !live(e); }),
-                heap_.end());
-    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    std::size_t kept = 0;
+    for (const HeapEntry& e : heap_) {
+      if (live(e)) heap_[kept++] = e;
+    }
+    heap_.resize(kept);
+    heap_rebuild();
     tombstones_ = 0;
   }
 
@@ -232,6 +390,7 @@ class EventLoop {
   std::size_t pending_ = 0;
   std::size_t tombstones_ = 0;
   std::vector<HeapEntry> heap_;
+  TimerWheel wheel_;
   std::vector<Record> slab_;
   std::uint32_t free_head_ = kNilSlot;
 };

@@ -199,31 +199,16 @@ void TcpConnection::enter_fast_recovery() {
 void TcpConnection::handle_data(std::int64_t seq, Bytes len) {
   SPEAKUP_ASSERT(len > 0);
   const std::int64_t old_rcv_nxt = rcv_nxt_;
-  std::int64_t begin = std::max(seq, rcv_nxt_);
+  // Clip the already-delivered prefix; a wholly stale segment (a
+  // retransmission of delivered data) still draws the duplicate ack below.
+  const std::int64_t begin = std::max(seq, rcv_nxt_);
   const std::int64_t end = seq + len;
-  if (begin < end) {
-    // Record [begin, end) into the out-of-order interval map, merging.
-    auto it = ooo_.lower_bound(begin);
-    if (it != ooo_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second >= begin) {
-        begin = prev->first;
-        it = prev;
-      }
-    }
-    std::int64_t merged_end = end;
-    while (it != ooo_.end() && it->first <= merged_end) {
-      merged_end = std::max(merged_end, it->second);
-      it = ooo_.erase(it);
-    }
-    ooo_[begin] = merged_end;
-  }
-  // Advance rcv_nxt_ over any now-contiguous prefix.
-  auto front = ooo_.begin();
-  if (front != ooo_.end() && front->first <= rcv_nxt_) {
-    rcv_nxt_ = std::max(rcv_nxt_, front->second);
-    ooo_.erase(front);
-  }
+  if (begin < end) ooo_.insert(begin, end);
+  // Advance rcv_nxt_ over any now-contiguous prefix. Because insert()
+  // merges overlapping *and touching* ranges, the contiguous prefix is a
+  // single interval — pop_prefix consumes it (and would consume any
+  // stragglers a non-merging tracker left behind).
+  rcv_nxt_ = ooo_.pop_prefix(rcv_nxt_);
   send_ack();
   if (rcv_nxt_ > old_rcv_nxt && cbs_.on_data) cbs_.on_data(rcv_nxt_ - old_rcv_nxt);
 }
@@ -231,20 +216,30 @@ void TcpConnection::handle_data(std::int64_t seq, Bytes len) {
 void TcpConnection::on_rto() {
   if (state_ == State::kClosed) return;
   ++timeouts_;
+  // Every retransmitting path below backs the RTO off through backoff_rto()
+  // — exactly once per expiry. Karn's rule keeps the backed-off value
+  // sticky: a retransmitted range never produces an RTT sample (see
+  // send_segment), so only an ack of fresh data can recompute the RTO from
+  // the estimator. In particular a retransmitted SYN does not double-apply
+  // backoff — the SYN-ACK handler skips the RTT sample (syn_retransmitted_)
+  // and leaves rto_ at its single-backoff value. The two non-retransmitting
+  // exits (handshake give-up, spurious expiry with nothing in flight) do
+  // not back off: the first tears the connection down, and the second must
+  // leave rto_ untouched for the next fresh flight.
   if (state_ == State::kSynSent) {
     if (++syn_retries_ > cfg_.max_syn_retries) {
       teardown(/*notify_app=*/true);
       return;
     }
     syn_retransmitted_ = true;
-    rto_ = std::min(rto_ * 2, cfg_.max_rto);
+    backoff_rto();
     host_->send_packet(net::make_control_packet(host_->id(), local_port_, remote_, remote_port_,
                                                 net::PacketKind::kSyn));
     rto_timer_.restart(rto_);
     return;
   }
   if (state_ == State::kSynReceived) {
-    rto_ = std::min(rto_ * 2, cfg_.max_rto);
+    backoff_rto();
     host_->send_packet(net::make_control_packet(host_->id(), local_port_, remote_, remote_port_,
                                                 net::PacketKind::kSynAck));
     rto_timer_.restart(rto_);
@@ -253,6 +248,7 @@ void TcpConnection::on_rto() {
   if (inflight() <= 0) return;
   // Retransmission timeout: multiplicative backoff, window collapse,
   // go-back-N from the last cumulative ack.
+  backoff_rto();
   ssthresh_ = std::max(static_cast<double>(inflight()) / 2.0,
                        2.0 * static_cast<double>(cfg_.mss));
   cwnd_ = static_cast<double>(cfg_.mss);
@@ -260,7 +256,6 @@ void TcpConnection::on_rto() {
   in_recovery_ = false;
   dupacks_ = 0;
   timed_seq_ = kNoTimedSegment;
-  rto_ = std::min(rto_ * 2, cfg_.max_rto);
   const Bytes len = std::min<Bytes>(cfg_.mss, app_limit_ - snd_una_);
   if (len > 0) {
     send_segment(snd_una_, len, /*retransmission=*/true);
@@ -270,6 +265,8 @@ void TcpConnection::on_rto() {
 }
 
 void TcpConnection::arm_rto() { rto_timer_.restart(rto_); }
+
+void TcpConnection::backoff_rto() { rto_ = std::min(rto_ * 2, cfg_.max_rto); }
 
 void TcpConnection::take_rtt_sample(Duration sample) {
   if (!have_rtt_) {

@@ -16,10 +16,10 @@
 #include <any>
 #include <cstdint>
 #include <functional>
-#include <map>
 
 #include "net/packet.hpp"
 #include "sim/timer.hpp"
+#include "transport/ooo_tracker.hpp"
 #include "transport/tcp_config.hpp"
 #include "util/units.hpp"
 
@@ -74,11 +74,23 @@ class TcpConnection {
   [[nodiscard]] std::any& app_handle() { return app_handle_; }
 
   // --- counters / introspection (used by tests and reports) ---
+  /// Total bytes the application has submitted via write() — the
+  /// app-side count, independent of how much has been transmitted yet
+  /// (a window-limited connection reports the full amount immediately).
+  /// For wire-side progress see bytes_sent() / bytes_acked().
   [[nodiscard]] Bytes bytes_written() const { return app_limit_; }
+  /// Highest stream offset handed to the network so far (snd_nxt); always
+  /// <= bytes_written(), and temporarily rewinds on a retransmission
+  /// timeout (go-back-N restarts from the last cumulative ack).
+  [[nodiscard]] Bytes bytes_sent() const { return snd_nxt_; }
   [[nodiscard]] Bytes bytes_acked() const { return snd_una_; }
   [[nodiscard]] Bytes bytes_delivered() const { return rcv_nxt_; }
   [[nodiscard]] double cwnd_bytes() const { return cwnd_; }
   [[nodiscard]] Duration srtt() const { return srtt_; }
+  /// Current retransmission timeout, including any exponential backoff
+  /// still in force (Karn's rule: backoff sticks until fresh data yields
+  /// an RTT sample). Introspection for tests.
+  [[nodiscard]] Duration rto() const { return rto_; }
   [[nodiscard]] std::int64_t retransmits() const { return retransmits_; }
   [[nodiscard]] std::int64_t timeouts() const { return timeouts_; }
 
@@ -95,6 +107,10 @@ class TcpConnection {
   void handle_data(std::int64_t seq, Bytes len);
   void on_rto();
   void arm_rto();
+  /// Karn-style exponential backoff: doubles the RTO (capped at
+  /// cfg_.max_rto). Called exactly once per timer expiry — the single
+  /// place backoff is applied, so no path can double-apply it.
+  void backoff_rto();
   void take_rtt_sample(Duration sample);
   void enter_fast_recovery();
   void teardown(bool notify_app);
@@ -139,7 +155,7 @@ class TcpConnection {
 
   // --- receive side ---
   std::int64_t rcv_nxt_ = 0;
-  std::map<std::int64_t, std::int64_t> ooo_;  // out-of-order intervals: start -> end
+  OooTracker ooo_;  // out-of-order intervals past rcv_nxt_
 };
 
 }  // namespace speakup::transport

@@ -171,6 +171,54 @@ TEST(EventLoopEdge, ZeroDelaySelfReschedulingOrder) {
   EXPECT_DOUBLE_EQ(loop.now().sec(), 0.001);
 }
 
+// --- reschedule (in-place re-arm) ------------------------------------------
+
+TEST(EventLoopEdge, RescheduleMovesDeadlineAndInvalidatesOldHandles) {
+  EventLoop loop;
+  int fired = 0;
+  EventId original = loop.schedule(Duration::millis(10), [&] { ++fired; });
+  EventId copy = original;
+  EventId moved = loop.reschedule(original, Duration::millis(50));
+  EXPECT_FALSE(copy.pending());  // pre-move handles are stale...
+  EXPECT_TRUE(moved.pending());  // ...the replacement is live
+  loop.cancel(copy);             // stale cancel must not touch the moved event
+  EXPECT_TRUE(moved.pending());
+  loop.run_until(SimTime::zero() + Duration::millis(20));
+  EXPECT_EQ(fired, 0);  // the old deadline no longer exists
+  loop.run();
+  EXPECT_EQ(fired, 1);  // the callback survived the move and fired once
+  EXPECT_DOUBLE_EQ(loop.now().sec(), 0.050);
+}
+
+TEST(EventLoopEdge, RescheduleOrdersAsIfFreshlyScheduled) {
+  // reschedule is documented as cancel + schedule with the same callback:
+  // on a deadline tie, a rescheduled event must fire AFTER an event that
+  // was scheduled for that instant before the move.
+  EventLoop loop;
+  std::vector<int> order;
+  EventId moved = loop.schedule(Duration::millis(1), [&] { order.push_back(1); });
+  loop.schedule(Duration::millis(30), [&] { order.push_back(2); });
+  (void)loop.reschedule(moved, Duration::millis(30));  // tie with event 2, later seq
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventLoopEdge, RescheduleAcrossStoresKeepsOrderAndCounts) {
+  // Move an event back and forth between heap residency (sub-tick delays)
+  // and wheel residency (tens of ms) — counts and firing must be exact.
+  EventLoop loop;
+  int fired = 0;
+  EventId id = loop.schedule(Duration::micros(5), [&] { ++fired; });  // heap
+  id = loop.reschedule(id, Duration::millis(20));                     // wheel
+  id = loop.reschedule(id, Duration::micros(5));                      // heap again
+  id = loop.reschedule(id, Duration::millis(40));                     // wheel again
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(loop.now().sec(), 0.040);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
 // --- tombstones & compaction -----------------------------------------------
 
 TEST(EventLoopEdge, PendingCountIsAccurateUnderTombstones) {
@@ -219,17 +267,36 @@ TEST(EventLoopEdge, CancelHeavyWorkloadKeepsHeapBounded) {
   EXPECT_LE(max_heap, 2u * 9u + 64u);
 }
 
-TEST(EventLoopEdge, MassCancellationCompactsTheHeap) {
+TEST(EventLoopEdge, MassCancellationLeavesNoResidue) {
+  // Timer-range deadlines (100 ms – 1.1 s) are wheel-resident; mass
+  // cancellation must unlink them eagerly — no tombstones anywhere.
   EventLoop loop;
   std::vector<EventId> ids;
   for (int i = 0; i < 1000; ++i) {
     ids.push_back(loop.schedule(Duration::millis(100 + i), [] {}));
   }
+  EXPECT_EQ(loop.wheel_size(), 1000u);
+  EXPECT_EQ(loop.heap_size(), 0u);
+  for (EventId& id : ids) loop.cancel(id);
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_EQ(loop.wheel_size(), 0u);
+  EXPECT_EQ(loop.heap_size(), 0u);
+  loop.run();
+  EXPECT_EQ(loop.executed_events(), 0u);
+}
+
+TEST(EventLoopEdge, MassCancellationCompactsTheHeap) {
+  // Sub-tick deadlines stay heap-resident, so this is the compaction path:
+  // everything is dead after the cancels, and the heap must have shrunk
+  // below the no-compact floor instead of holding 1000 tombstones.
+  EventLoop loop;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(loop.schedule(Duration::micros(1 + i % 16), [] {}));
+  }
   EXPECT_EQ(loop.heap_size(), 1000u);
   for (EventId& id : ids) loop.cancel(id);
   EXPECT_EQ(loop.pending_events(), 0u);
-  // Everything is dead; compaction must have shrunk the heap below the
-  // no-compact floor instead of leaving 1000 tombstones.
   EXPECT_LT(loop.heap_size(), 64u);
   loop.run();
   EXPECT_EQ(loop.executed_events(), 0u);

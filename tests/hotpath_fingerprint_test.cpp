@@ -1,12 +1,16 @@
-// Pins the ExperimentResult fingerprints of the checked-in smoke sweep.
+// Pins the ExperimentResult fingerprints of the checked-in smoke sweep and
+// of the loss-heavy sweeps (shared_bottleneck.json, lossy.json).
 //
 // The hot-path refactor contract is behavior-invisibility: rewriting the
-// event representation, the Link packet pipeline, or the queue storage must
+// event representation, the timer store (heap vs wheel), the TCP
+// out-of-order tracker, the Link packet pipeline, or the queue storage must
 // not change a single simulated outcome. fingerprint() hashes every counter
 // in the result INCLUDING events_executed, so even an extra or re-ordered
-// event trips this test. The constants below were captured from the
-// pre-refactor (PR 3) tree; if a future change legitimately alters
-// simulation behavior, re-pin them in the same commit that explains why.
+// event trips this test. The smoke constants were captured from the
+// pre-PR-4 (PR 3) tree; the loss-heavy constants from the pre-round-2
+// (PR 4) tree — i.e. always from the code *before* the refactor they
+// guard. If a future change legitimately alters simulation behavior,
+// re-pin them in the same commit that explains why.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -25,25 +29,66 @@ std::string hex(std::uint64_t fp) {
   return buf;
 }
 
-TEST(HotPathFingerprint, SmokeSweepMatchesPreRefactorPins) {
-  const ScenarioFile file = load_scenario_file(std::string(SPEAKUP_SCENARIO_DIR) + "/smoke.json");
-  // label -> fingerprint, captured at PR 3 (seed event loop, pre-slab).
-  const std::vector<std::pair<std::string, std::string>> pins = {
-      {"smoke/none", "5926ff42af7d304f"},
-      {"smoke/retry", "6f503a28a37defd5"},
-      {"smoke/auction", "058ae2081de114a0"},
-      {"smoke/quantum", "785972ef788a9750"},
-      {"smoke/auction-seeds/seed7", "058ae2081de114a0"},
-      {"smoke/auction-seeds/seed8", "9bf42045de308896"},
-  };
-  ASSERT_EQ(file.scenarios.size(), pins.size());
+using Pins = std::vector<std::pair<std::string, std::string>>;
+
+void expect_pins(const std::string& file_name, const Pins& pins) {
+  const ScenarioFile file =
+      load_scenario_file(std::string(SPEAKUP_SCENARIO_DIR) + "/" + file_name);
+  ASSERT_EQ(file.scenarios.size(), pins.size()) << file_name;
   for (std::size_t i = 0; i < pins.size(); ++i) {
     const LabeledScenario& s = file.scenarios[i];
-    ASSERT_EQ(s.label, pins[i].first) << "scenario order changed; re-check pins";
+    ASSERT_EQ(s.label, pins[i].first)
+        << file_name << ": scenario order changed; re-check pins";
     const ExperimentResult r = run_scenario(s.config);
     EXPECT_EQ(hex(r.fingerprint()), pins[i].second)
         << "behavior drift in '" << s.label << "' (events_executed=" << r.events_executed << ")";
   }
+}
+
+TEST(HotPathFingerprint, SmokeSweepMatchesPreRefactorPins) {
+  // Captured at PR 3 (seed event loop, pre-slab).
+  expect_pins("smoke.json", {
+                                {"smoke/none", "5926ff42af7d304f"},
+                                {"smoke/retry", "6f503a28a37defd5"},
+                                {"smoke/auction", "058ae2081de114a0"},
+                                {"smoke/quantum", "785972ef788a9750"},
+                                {"smoke/auction-seeds/seed7", "058ae2081de114a0"},
+                                {"smoke/auction-seeds/seed8", "9bf42045de308896"},
+                            });
+}
+
+TEST(HotPathFingerprint, SharedBottleneckSweepMatchesPreWheelPins) {
+  // The fig8 grid: sustained bottleneck overflow — fast recovery and RTO on
+  // every connection. Captured at PR 4 (binary heap, std::map OOO tracker),
+  // before the timer wheel / 4-ary heap / interval-vector round.
+  expect_pins("shared_bottleneck.json", {
+                                            {"25/5", "ec056f4cfaef3dc3"},
+                                            {"15/15", "b8da20a64b334756"},
+                                            {"5/25", "159992d06766ed25"},
+                                        });
+}
+
+TEST(HotPathFingerprint, LossySweepMatchesPreWheelPins) {
+  // The fig9 grid: a saturated 1 Mbit/s bottleneck dropping continuously —
+  // the deepest checked-in exercise of the TCP loss path. Captured at PR 4.
+  expect_pins("lossy.json", {
+                                {"off/1KB", "a1aa978c57d87c4c"},
+                                {"on/1KB", "3fa7ce9c1dee200e"},
+                                {"off/2KB", "adb477255f4ffb88"},
+                                {"on/2KB", "33a431b0afaface3"},
+                                {"off/4KB", "7f93c0fd13ebd5a0"},
+                                {"on/4KB", "82c44c174f4cb1a3"},
+                                {"off/8KB", "5aaaff106ab83ead"},
+                                {"on/8KB", "51d944df0f228e04"},
+                                {"off/16KB", "864e879c8fed0f43"},
+                                {"on/16KB", "8d5589d1d0d275bd"},
+                                {"off/32KB", "17063f2284721d39"},
+                                {"on/32KB", "072a4170164804a5"},
+                                {"off/64KB", "f4b2720bc8af781b"},
+                                {"on/64KB", "8d33a45b8935aaa1"},
+                                {"off/100KB", "78c4b8f38eaabe4b"},
+                                {"on/100KB", "6364491cbbfafbec"},
+                            });
 }
 
 }  // namespace

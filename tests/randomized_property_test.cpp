@@ -1,9 +1,16 @@
 // Randomized property tests on the substrate invariants: the event loop
-// never runs time backwards under arbitrary schedules; routing on random
-// connected topologies delivers between all host pairs; payment accounting
-// conserves bytes end to end under random client mixes.
+// never runs time backwards under arbitrary schedules; the timer-wheel/
+// heap split fires in exactly global (time, insertion) order under random
+// schedule/cancel/re-arm traces; the interval-vector out-of-order tracker
+// matches a reference std::map implementation over random segment arrival
+// orders; routing on random connected topologies delivers between all host
+// pairs; payment accounting conserves bytes end to end under random client
+// mixes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
 #include <vector>
 
 #include "core/auction_thinner.hpp"
@@ -11,6 +18,7 @@
 #include "net/network.hpp"
 #include "sim/event_loop.hpp"
 #include "transport/host.hpp"
+#include "transport/ooo_tracker.hpp"
 #include "util/rng.hpp"
 
 namespace speakup {
@@ -45,6 +53,203 @@ TEST(RandomizedProperty, EventLoopTimeIsMonotoneUnderRandomSchedules) {
   loop.run();
   EXPECT_GT(fired, 20);
   EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(RandomizedProperty, WheelAndHeapFireInGlobalTimeAndInsertionOrder) {
+  // The EventLoop splits pending events between a hierarchical timer wheel
+  // and a 4-ary heap purely by deadline distance. This trace — random
+  // delays spanning every wheel level plus the overflow heap, random
+  // cancellation, and random in-place re-arming — checks the split is
+  // invisible: every firing must be the global minimum of (deadline,
+  // insertion order) among live events, exactly as a single ordered queue
+  // would fire, and re-arming must order as if freshly scheduled.
+  util::RngStream rng(105, "wheel-fuzz");
+  sim::EventLoop loop;
+
+  struct Slot {
+    std::int64_t when_ns = 0;   // absolute deadline
+    std::uint64_t order = 0;    // (re)insertion counter: the tie-breaker
+    bool live = false;          // scheduled, not yet fired/cancelled
+    sim::EventId id;
+  };
+  std::vector<Slot> slots;
+  std::uint64_t order_counter = 0;
+  int fired = 0;
+  int checked = 0;
+  constexpr int kBudget = 4000;
+
+  auto random_delay = [&rng]() -> Duration {
+    switch (rng.uniform_int(0, 5)) {
+      case 0: return Duration::nanos(rng.uniform_int(0, 2'000));         // sub-tick
+      case 1: return Duration::micros(rng.uniform_int(1, 900));          // heap range
+      case 2: return Duration::millis(rng.uniform_int(1, 60));           // wheel L1/L2
+      case 3: return Duration::millis(rng.uniform_int(60, 4'000));       // wheel L2
+      case 4: return Duration::seconds(static_cast<double>(rng.uniform_int(4, 250)));  // L3
+      default: return Duration::seconds(static_cast<double>(rng.uniform_int(300, 600)));  // overflow
+    }
+  };
+
+  std::function<void(std::size_t)> on_fire = [&](std::size_t me) {
+    Slot& self = slots[me];
+    // Property 1: the clock stands exactly at this event's deadline.
+    EXPECT_EQ(loop.now().ns(), self.when_ns);
+    // Property 2: nothing live fires late — this event is the minimum of
+    // (when, order) among all still-live events.
+    if (++checked <= 1500) {  // O(n) scan; cap to keep the test quick
+      for (const Slot& other : slots) {
+        if (!other.live || &other == &self) continue;
+        EXPECT_TRUE(other.when_ns > self.when_ns ||
+                    (other.when_ns == self.when_ns && other.order > self.order))
+            << "event fired ahead of an earlier live event";
+      }
+    }
+    self.live = false;
+    ++fired;
+    if (fired >= kBudget) return;
+    // Keep the trace going: schedule new events, cancel and re-arm others.
+    // (1–2 spawns per fire against a 0.3 cancel rate keeps the population
+    // supercritical until the budget cuts it off.)
+    const int spawn = static_cast<int>(rng.uniform_int(1, 2));
+    for (int i = 0; i < spawn; ++i) {
+      const std::size_t idx = slots.size();
+      slots.push_back(Slot{});
+      const Duration d = random_delay();
+      Slot& s = slots[idx];
+      s.when_ns = (loop.now() + d).ns();
+      s.order = order_counter++;
+      s.live = true;
+      s.id = loop.schedule(d, [&on_fire, idx] { on_fire(idx); });
+    }
+    if (!slots.empty() && rng.chance(0.3)) {  // cancel a random live event
+      const std::size_t idx =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(slots.size()) - 1));
+      if (slots[idx].live && slots[idx].id.pending()) {
+        loop.cancel(slots[idx].id);
+        slots[idx].live = false;
+      }
+    }
+    if (!slots.empty() && rng.chance(0.3)) {  // re-arm a random live event
+      const std::size_t idx =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(slots.size()) - 1));
+      if (slots[idx].live && slots[idx].id.pending()) {
+        const Duration d = random_delay();
+        slots[idx].id = loop.reschedule(slots[idx].id, d);
+        slots[idx].when_ns = (loop.now() + d).ns();
+        slots[idx].order = order_counter++;  // re-arm orders as if fresh
+      }
+    }
+  };
+
+  slots.reserve(static_cast<std::size_t>(kBudget) * 3);
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t idx = slots.size();
+    slots.push_back(Slot{});
+    const Duration d = random_delay();
+    Slot& s = slots[idx];
+    s.when_ns = (SimTime::zero() + d).ns();
+    s.order = order_counter++;
+    s.live = true;
+    s.id = loop.schedule(d, [&on_fire, idx] { on_fire(idx); });
+  }
+  loop.run();
+  EXPECT_GE(fired, kBudget);
+  EXPECT_EQ(loop.pending_events(), 0u);
+  // Everything the model says is live must have fired or been cancelled.
+  for (const Slot& s : slots) EXPECT_FALSE(s.live);
+}
+
+/// The pre-round-2 std::map out-of-order tracker, verbatim — the reference
+/// the interval vector must match byte for byte.
+struct MapOooReference {
+  std::map<std::int64_t, std::int64_t> ooo;
+  std::int64_t rcv_nxt = 0;
+
+  void handle_data(std::int64_t seq, std::int64_t len) {
+    std::int64_t begin = std::max(seq, rcv_nxt);
+    const std::int64_t end = seq + len;
+    if (begin < end) {
+      auto it = ooo.lower_bound(begin);
+      if (it != ooo.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= begin) {
+          begin = prev->first;
+          it = prev;
+        }
+      }
+      std::int64_t merged_end = end;
+      while (it != ooo.end() && it->first <= merged_end) {
+        merged_end = std::max(merged_end, it->second);
+        it = ooo.erase(it);
+      }
+      ooo[begin] = merged_end;
+    }
+    auto front = ooo.begin();
+    if (front != ooo.end() && front->first <= rcv_nxt) {
+      rcv_nxt = std::max(rcv_nxt, front->second);
+      ooo.erase(front);
+    }
+  }
+};
+
+TEST(RandomizedProperty, OooTrackerMatchesMapReference) {
+  // Random segment arrival orders — overlapping, touching, duplicated,
+  // stale, and far-future — must leave the interval vector and the map
+  // reference with identical delivered prefixes and identical hole sets.
+  util::RngStream rng(106, "ooo-fuzz");
+  for (int trial = 0; trial < 20; ++trial) {
+    transport::OooTracker tracker;
+    std::int64_t rcv_nxt = 0;
+    MapOooReference ref;
+    const int segments = 300 + static_cast<int>(rng.uniform_int(0, 300));
+    std::int64_t frontier = 0;  // loosely tracks the "sender position"
+    for (int i = 0; i < segments; ++i) {
+      std::int64_t seq;
+      const std::int64_t len = 1 + rng.uniform_int(0, 2999);
+      if (rng.chance(0.5)) {
+        // Near the frontier: in-order-ish with reordering and gaps.
+        seq = std::max<std::int64_t>(0, frontier + rng.uniform_int(-4000, 8000));
+        frontier = std::max(frontier, seq + len);
+      } else if (rng.chance(0.3)) {
+        seq = rcv_nxt + rng.uniform_int(0, 2000);  // straddles the cum-ack point
+      } else {
+        seq = rng.uniform_int(0, 200'000);  // anywhere: stale or far future
+      }
+      // Mirror TcpConnection::handle_data on both implementations.
+      ref.handle_data(seq, len);
+      const std::int64_t begin = std::max(seq, rcv_nxt);
+      const std::int64_t end = seq + len;
+      if (begin < end) tracker.insert(begin, end);
+      rcv_nxt = tracker.pop_prefix(rcv_nxt);
+
+      ASSERT_EQ(rcv_nxt, ref.rcv_nxt) << "trial " << trial << " segment " << i;
+      ASSERT_EQ(tracker.size(), ref.ooo.size()) << "trial " << trial << " segment " << i;
+      std::size_t k = 0;
+      for (const auto& [b, e] : ref.ooo) {
+        ASSERT_EQ(tracker.data()[k].begin, b) << "trial " << trial << " segment " << i;
+        ASSERT_EQ(tracker.data()[k].end, e) << "trial " << trial << " segment " << i;
+        ++k;
+      }
+    }
+  }
+}
+
+TEST(RandomizedProperty, OooTrackerSpillsAndRecoversBeyondInlineCapacity) {
+  // Dozens of disjoint holes force the inline array to spill; filling the
+  // gaps must then drain everything through a single merged pop.
+  transport::OooTracker tracker;
+  constexpr int kHoles = 40;
+  for (int i = 0; i < kHoles; ++i) {
+    // [1000, 1100), [3000, 3100), ... — disjoint, inserted back to front.
+    const std::int64_t b = (kHoles - i) * 2000 + 1000;
+    tracker.insert(b, b + 100);
+  }
+  EXPECT_EQ(tracker.size(), static_cast<std::size_t>(kHoles));
+  EXPECT_TRUE(tracker.spilled());
+  EXPECT_EQ(tracker.pop_prefix(0), 0);  // nothing contiguous yet
+  // Fill everything below the last hole: one insert merges the lot.
+  tracker.insert(0, kHoles * 2000 + 1000);
+  EXPECT_EQ(tracker.pop_prefix(0), kHoles * 2000 + 1100);
+  EXPECT_TRUE(tracker.empty());
 }
 
 TEST(RandomizedProperty, RandomConnectedTopologiesRouteAllPairs) {

@@ -1,13 +1,39 @@
 // Edge-case and failure-injection tests for the TCP model: window caps,
-// RTO backoff under blackout, stale-packet handling, and parameterized
-// throughput sweeps.
+// RTO backoff under blackout (single-application pinned against Karn's
+// rule), stale-packet handling, accessor semantics, the zero-allocation
+// guarantee of the loss path, and parameterized throughput sweeps.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "net/network.hpp"
 #include "sim/event_loop.hpp"
 #include "transport/host.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (same technique as event_loop_edge_test): only
+// the *delta* inside a measured region matters, so gtest and the warm-up
+// phases may allocate freely.
+// ---------------------------------------------------------------------------
+namespace {
+std::int64_t g_allocations = 0;
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace speakup::transport {
 namespace {
@@ -127,6 +153,102 @@ TEST(TcpEdge, RtoBackoffGrowsExponentially) {
   EXPECT_TRUE(reset);
   EXPECT_TRUE(c.closed());
   EXPECT_EQ(c.timeouts(), 4);  // 3 retries + the final firing
+}
+
+TEST(TcpEdge, SynRetransmissionBacksOffExactlyOncePerTimeout) {
+  // Pins the backoff ladder byte for byte: with initial_rto = 3 s the SYN
+  // retransmissions must land at exactly t = 3, 9, 21 s (doubling once per
+  // expiry) and the give-up at t = 45 s. A double-applied backoff would
+  // move the second retry from 9 s to 15 s and trip the boundary checks.
+  TcpConfig cfg;
+  cfg.max_syn_retries = 3;
+  sim::EventLoop loop;
+  net::Network net(loop);
+  auto& a = net.add_node<Host>("a");
+  auto& blackhole = net.add_switch("blackhole");
+  a.set_tcp_config(cfg);
+  net.connect(a, blackhole,
+              net::LinkSpec{Bandwidth::mbps(2.0), Duration::millis(1), 96'000});
+  net.build_routes();
+  TcpConnection& c = a.connect(blackhole.id(), 80);
+  const struct {
+    double at_sec;
+    std::int64_t timeouts;
+  } ladder[] = {{2.9, 0}, {3.1, 1}, {8.9, 1}, {9.1, 2}, {20.9, 2}, {21.1, 3}, {44.9, 3}};
+  for (const auto& step : ladder) {
+    loop.run_until(SimTime::zero() + Duration::seconds(step.at_sec));
+    EXPECT_EQ(c.timeouts(), step.timeouts) << "at t=" << step.at_sec;
+    EXPECT_FALSE(c.closed()) << "at t=" << step.at_sec;
+  }
+  loop.run_until(SimTime::zero() + Duration::seconds(45.1));
+  EXPECT_TRUE(c.closed());
+}
+
+TEST(TcpEdge, KarnsRuleKeepsSingleBackoffAfterSynRetransmission) {
+  // A 2 s one-way delay makes the SYN-ACK arrive (t=4 s) after the first
+  // RTO (t=3 s): the SYN is retransmitted exactly once. Karn's rule then
+  // forbids an RTT sample from the retransmitted handshake, so the
+  // connection must establish with rto == 2 * initial_rto — one backoff,
+  // not two — and no RTT estimate until fresh data is acked.
+  Pair p(net::LinkSpec{Bandwidth::mbps(10.0), Duration::seconds(2.0), 96'000});
+  p.b->listen(80, [](TcpConnection&) {});
+  TcpConnection& c = p.a->connect(p.b->id(), 80);
+  p.run_for(4.5);  // SYN t=0 lost to no one — it arrives; its ack is just late
+  EXPECT_TRUE(c.established());
+  EXPECT_EQ(c.timeouts(), 1);
+  EXPECT_EQ(c.srtt().ns(), 0);  // Karn: no sample from a retransmitted range
+  EXPECT_EQ(c.rto().ns(), 2 * p.a->tcp_config().initial_rto.ns());
+  // Fresh data eventually yields a sample and the estimator takes over.
+  c.write(1000);
+  p.run_for(10.0);
+  EXPECT_GT(c.srtt().ns(), 0);
+}
+
+TEST(TcpEdge, BytesWrittenCountsAppSubmissionNotTransmission) {
+  // bytes_written() is the application-side count: write() credits it in
+  // full immediately, while bytes_sent()/bytes_acked() trail behind at the
+  // pace the window and the wire allow.
+  Pair p(net::LinkSpec{Bandwidth::mbps(1.0), Duration::millis(5), 96'000});
+  p.b->listen(80, [](TcpConnection&) {});
+  TcpConnection& c = p.a->connect(p.b->id(), 80);
+  c.write(megabytes(1));
+  EXPECT_EQ(c.bytes_written(), megabytes(1));  // before the handshake even completes
+  EXPECT_EQ(c.bytes_sent(), 0);
+  p.run_for(1.0);
+  EXPECT_EQ(c.bytes_written(), megabytes(1));
+  EXPECT_GT(c.bytes_sent(), 0);
+  EXPECT_LT(c.bytes_sent(), megabytes(1));  // 1 Mbit/s cannot move 1 MB in 1 s
+  EXPECT_LE(c.bytes_acked(), c.bytes_sent());
+  c.write(500);
+  EXPECT_EQ(c.bytes_written(), megabytes(1) + 500);
+}
+
+TEST(TcpEdge, SteadyStateLossPathIsAllocationFree) {
+  // A shallow bottleneck queue keeps this transfer in permanent loss
+  // recovery: holes at the receiver (out-of-order tracker), fast
+  // retransmit, RTO backoff, and a timer re-arm on every ack. After
+  // warm-up, none of it may touch the allocator — the interval vector is
+  // inline/pooled, timer re-arms reuse their event record, and packets
+  // ride pooled link records.
+  Pair p(net::LinkSpec{Bandwidth::mbps(10.0), Duration::millis(1), 6'000});
+  Bytes delivered = 0;
+  p.b->listen(80, [&](TcpConnection& c) {
+    TcpConnection::Callbacks cbs;
+    cbs.on_data = [&](Bytes n) { delivered += n; };
+    c.set_callbacks(std::move(cbs));
+  });
+  TcpConnection& c = p.a->connect(p.b->id(), 80);
+  c.write(megabytes(200));  // far more than the run can move: never drains
+  p.run_for(5.0);  // warm-up: pools, rings, slabs, spill buffers
+  ASSERT_TRUE(c.established());
+  ASSERT_GT(c.retransmits(), 0) << "config no longer produces loss";
+  const Bytes delivered_before = delivered;
+  const std::int64_t before = g_allocations;
+  p.run_for(10.0);  // measured region: steady-state loss recovery
+  const std::int64_t delta = g_allocations - before;
+  EXPECT_EQ(delta, 0) << "TCP loss path allocated in steady state";
+  EXPECT_GT(delivered, delivered_before);  // the region really moved data
+  EXPECT_GT(c.retransmits(), 0);
 }
 
 TEST(TcpEdge, ZeroByteWriteIsNoop) {
