@@ -5,11 +5,16 @@
 // design goal: allocation in proportion to bandwidth. The paper implements
 // and evaluates only §3.3; this harness checks that §3.2 earns its keep as
 // an alternative, and shows the emergent price in each currency unit.
+//
+// The grid lives in scenarios/abl1.json (defense x capacity, labeled
+// "defense/cN"); `speakup run` on that file reproduces these numbers
+// exactly.
 #include <iostream>
 #include <string>
 
 #include "bench/bench_common.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -23,14 +28,10 @@ int main() {
   const double kCapacities[] = {50.0, 100.0, 200.0};
   const exp::DefenseMode kModes[] = {exp::DefenseMode::kRetry, exp::DefenseMode::kAuction};
 
+  exp::ScenarioFile file = bench::load_scenarios("abl1.json");
+  bench::apply_full_duration(file);
   exp::Runner runner;
-  for (const double c : kCapacities) {
-    for (const exp::DefenseMode mode : kModes) {
-      exp::ScenarioConfig cfg = exp::lan_scenario(25, 25, c, mode, /*seed=*/31);
-      cfg.duration = bench::experiment_duration();
-      runner.add(cfg, std::string(to_string(mode)) + "/c" + std::to_string(int(c)));
-    }
-  }
+  file.queue_on(runner);
   bench::run_all(runner);
 
   stats::Table table({"capacity", "mechanism", "alloc(good)", "price-good", "price-bad",

@@ -1,12 +1,17 @@
 // Figure 5: average number of bytes sent on the payment channel — the
 // "price" — for served requests, by class, against the theoretical average
 // (G+B)/c ("Upper Bound"). G = B = 50 Mbit/s.
+//
+// The grid lives in scenarios/fig5.json (one scenario per capacity,
+// labeled "cN"); `speakup run` on that file reproduces these numbers
+// exactly.
 #include <iostream>
 #include <string>
 
 #include "bench/bench_common.hpp"
 #include "core/theory.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -20,13 +25,10 @@ int main() {
   const double kTotalBytesPerSec = 100e6 / 8.0;
   const double kCapacities[] = {50.0, 100.0, 200.0};
 
+  exp::ScenarioFile file = bench::load_scenarios("fig5.json");
+  bench::apply_full_duration(file);
   exp::Runner runner;
-  for (const double c : kCapacities) {
-    exp::ScenarioConfig cfg =
-        exp::lan_scenario(25, 25, c, exp::DefenseMode::kAuction, /*seed=*/24);
-    cfg.duration = bench::experiment_duration();
-    runner.add(cfg, "c" + std::to_string(int(c)));
-  }
+  file.queue_on(runner);
   bench::run_all(runner);
 
   stats::Table table({"capacity", "price-good-KB", "price-bad-KB", "upper-bound-KB"});

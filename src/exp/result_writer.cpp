@@ -239,55 +239,129 @@ std::vector<std::size_t> ResultWriter::csv_indices(const std::string& csv) {
 }
 
 ResultWriter::ResumeInfo ResultWriter::resume_info(const std::string& csv) {
+  // A writer killed mid-row leaves the file without a trailing newline;
+  // whatever sits after the last '\n' is a partial row and must be re-run,
+  // not merged — even when the truncation point makes it look well-formed.
+  std::string intact = csv;
+  if (!intact.empty() && intact.back() != '\n') {
+    const std::size_t last_nl = intact.find_last_of('\n');
+    intact.resize(last_nl == std::string::npos ? 0 : last_nl + 1);
+  }
+  const std::size_t n_columns = split_csv_row(csv_header()).size();
   ResumeInfo info;
   info.completed_csv = csv_header() + "\n";
-  for (const CsvLine& l : scan_csv(csv, "resume: existing output")) {
+  std::vector<std::size_t> seen;
+  for (const CsvLine& l : scan_csv(intact, "resume: existing output")) {
+    if (std::find(seen.begin(), seen.end(), l.index) != seen.end()) {
+      throw std::invalid_argument(
+          "resume: existing output lists scenario index " +
+          std::to_string(l.index) + " more than once; refusing to resume from it");
+    }
+    seen.push_back(l.index);
     const std::vector<std::string> fields = split_csv_row(l.text);
     // A failed row leaves the metric columns empty and fills the final
-    // `error` column; only successfully completed rows count as done.
-    const bool completed = !fields.empty() && fields.back().empty();
+    // `error` column; only successfully completed rows with the full
+    // column count qualify — a short row is a corrupt partial write.
+    const bool completed = fields.size() == n_columns && fields.back().empty();
     if (!completed) continue;
     info.completed_csv += l.text;
     info.completed_csv += '\n';
-    info.completed.emplace_back(l.index, fields.size() > 1 ? fields[1] : "");
+    info.completed.emplace_back(l.index, fields[1]);
   }
   return info;
 }
 
+namespace {
+
+/// "input 0", ... when the caller did not supply file names.
+std::vector<std::string> default_names(const char* op, std::size_t n,
+                                       const std::vector<std::string>& names) {
+  if (!names.empty()) {
+    if (names.size() != n) {
+      throw std::invalid_argument(std::string(op) +
+                                  ": names/inputs length mismatch");
+    }
+    return names;
+  }
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back("input " + std::to_string(i));
+  return out;
+}
+
+/// The duplicate-index diagnostic: says which input(s) hold the copies, and
+/// whether the duplication is inside one file or across two.
+[[noreturn]] void throw_duplicate_index(const char* op, std::size_t index,
+                                        const std::string& first_name,
+                                        const std::string& second_name) {
+  if (first_name == second_name) {
+    throw std::invalid_argument(
+        std::string(op) + ": scenario index " + std::to_string(index) +
+        " appears more than once inside '" + first_name +
+        "' (that file was never a valid single-run output)");
+  }
+  throw std::invalid_argument(
+      std::string(op) + ": scenario index " + std::to_string(index) +
+      " appears in both '" + first_name + "' and '" + second_name +
+      "' — shard inputs must cover disjoint scenario indices");
+}
+
+}  // namespace
+
 std::string ResultWriter::merge_csv(const std::vector<std::string>& shards) {
+  return merge_csv(shards, {});
+}
+
+std::string ResultWriter::merge_csv(const std::vector<std::string>& shards,
+                                    const std::vector<std::string>& names) {
   if (shards.empty()) throw std::invalid_argument("merge_csv: no inputs");
-  std::vector<CsvLine> lines;
+  const std::vector<std::string> labels =
+      default_names("merge_csv", shards.size(), names);
+  struct SourcedLine {
+    CsvLine line;
+    std::size_t source;
+  };
+  std::vector<SourcedLine> lines;
   for (std::size_t si = 0; si < shards.size(); ++si) {
     const std::vector<CsvLine> shard_lines =
-        scan_csv(shards[si], "merge_csv: input " + std::to_string(si));
-    lines.insert(lines.end(), shard_lines.begin(), shard_lines.end());
+        scan_csv(shards[si], "merge_csv: '" + labels[si] + "'");
+    for (const CsvLine& l : shard_lines) lines.push_back(SourcedLine{l, si});
   }
-  std::sort(lines.begin(), lines.end(),
-            [](const CsvLine& a, const CsvLine& b) { return a.index < b.index; });
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const SourcedLine& a, const SourcedLine& b) {
+                     return a.line.index < b.line.index;
+                   });
   for (std::size_t i = 1; i < lines.size(); ++i) {
-    if (lines[i].index == lines[i - 1].index) {
-      throw std::invalid_argument("merge_csv: scenario index " +
-                                  std::to_string(lines[i].index) +
-                                  " appears in more than one input");
+    if (lines[i].line.index == lines[i - 1].line.index) {
+      throw_duplicate_index("merge_csv", lines[i].line.index,
+                            labels[lines[i - 1].source], labels[lines[i].source]);
     }
   }
   std::string out = csv_header() + "\n";
-  for (const CsvLine& l : lines) {
-    out += l.text;
+  for (const SourcedLine& l : lines) {
+    out += l.line.text;
     out += '\n';
   }
   return out;
 }
 
 std::string ResultWriter::merge_json(const std::vector<std::string>& shards) {
+  return merge_json(shards, {});
+}
+
+std::string ResultWriter::merge_json(const std::vector<std::string>& shards,
+                                     const std::vector<std::string>& names) {
   if (shards.empty()) throw std::invalid_argument("merge_json: no inputs");
+  const std::vector<std::string> labels =
+      default_names("merge_json", shards.size(), names);
   struct Entry {
     std::size_t index;
+    std::size_t source;
     json::Value value;
   };
   std::vector<Entry> entries;
   for (std::size_t si = 0; si < shards.size(); ++si) {
-    const std::string what = "merge_json: input " + std::to_string(si);
+    const std::string what = "merge_json: '" + labels[si] + "'";
     json::Value doc;
     try {
       doc = json::parse(shards[si]);
@@ -310,16 +384,15 @@ std::string ResultWriter::merge_json(const std::vector<std::string>& shards) {
       if (idx < 0) {
         throw std::invalid_argument(what + " has a result without an integer \"index\"");
       }
-      entries.push_back(Entry{static_cast<std::size_t>(idx), entry});
+      entries.push_back(Entry{static_cast<std::size_t>(idx), si, entry});
     }
   }
   std::stable_sort(entries.begin(), entries.end(),
                    [](const Entry& a, const Entry& b) { return a.index < b.index; });
   for (std::size_t i = 1; i < entries.size(); ++i) {
     if (entries[i].index == entries[i - 1].index) {
-      throw std::invalid_argument("merge_json: scenario index " +
-                                  std::to_string(entries[i].index) +
-                                  " appears in more than one input");
+      throw_duplicate_index("merge_json", entries[i].index,
+                            labels[entries[i - 1].source], labels[entries[i].source]);
     }
   }
   json::Value results{json::Value::Array{}};

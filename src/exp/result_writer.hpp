@@ -48,8 +48,13 @@ class ResultWriter {
   /// Merges sharded CSV outputs (each produced by write_csv) into the
   /// byte-identical unsharded file: headers must match, indices must not
   /// collide, rows come out sorted by index. Throws std::invalid_argument
-  /// on malformed or overlapping inputs.
+  /// on malformed or overlapping inputs. A scenario index appearing twice
+  /// is rejected whether the copies sit in different inputs or inside one
+  /// input; the `names` overload reports which input file(s), so a retried
+  /// dispatcher slice that leaked into two shard CSVs is diagnosable.
   [[nodiscard]] static std::string merge_csv(const std::vector<std::string>& shards);
+  [[nodiscard]] static std::string merge_csv(const std::vector<std::string>& shards,
+                                             const std::vector<std::string>& names);
 
   /// Merges sharded JSON outputs (each produced by write_json) the same
   /// way: entries are keyed by their "index", overlaps are errors, and the
@@ -59,6 +64,8 @@ class ResultWriter {
   /// unsharded write_json — modulo nothing: wall_seconds rides along
   /// verbatim inside each entry.
   [[nodiscard]] static std::string merge_json(const std::vector<std::string>& shards);
+  [[nodiscard]] static std::string merge_json(const std::vector<std::string>& shards,
+                                              const std::vector<std::string>& names);
 
   /// The scenario indices present in a CSV produced by write_csv (header
   /// required), sorted ascending.
@@ -68,6 +75,10 @@ class ResultWriter {
   /// rows that completed successfully (failed rows are dropped so their
   /// scenarios get re-run, not carried forward) and their (index, label)
   /// pairs for validating the CSV against the scenario file being resumed.
+  /// Robust against a writer killed mid-row: a final line without a
+  /// trailing newline and any row with the wrong column count are treated
+  /// as not completed (their scenarios re-run). A duplicate index is a
+  /// hard error — that CSV was never a write_csv output.
   struct ResumeInfo {
     std::string completed_csv;  // header + successfully completed rows
     std::vector<std::pair<std::size_t, std::string>> completed;  // (index, label)

@@ -1,0 +1,238 @@
+#include "exp/work_queue.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace speakup::exp {
+
+namespace json = util::json;
+
+WorkQueue::WorkQueue(std::vector<std::size_t> rows_per_slice, int max_attempts)
+    : max_attempts_(max_attempts) {
+  util::require(max_attempts >= 1, "WorkQueue: max_attempts must be >= 1");
+  slices_.reserve(rows_per_slice.size());
+  for (std::size_t i = 0; i < rows_per_slice.size(); ++i) {
+    Slice s;
+    s.id = static_cast<int>(i);
+    s.rows = rows_per_slice[i];
+    slices_.push_back(std::move(s));
+  }
+}
+
+Slice& WorkQueue::at(int id) {
+  if (id < 0 || id >= size()) {
+    throw std::out_of_range("WorkQueue: no slice " + std::to_string(id));
+  }
+  return slices_[static_cast<std::size_t>(id)];
+}
+
+int WorkQueue::claim(int worker) {
+  for (Slice& s : slices_) {
+    if (s.state != Slice::State::kPending) continue;
+    s.state = Slice::State::kRunning;
+    s.worker = worker;
+    s.rows_done = 0;
+    s.events = 0;
+    ++s.attempts;
+    return s.id;
+  }
+  return -1;
+}
+
+void WorkQueue::heartbeat(int slice, std::size_t rows_done, std::uint64_t events) {
+  Slice& s = at(slice);
+  if (s.state != Slice::State::kRunning) return;  // late beat from a kill race
+  s.rows_done = rows_done;
+  s.events = events;
+}
+
+void WorkQueue::complete(int slice, std::uint64_t events) {
+  Slice& s = at(slice);
+  util::require(s.state == Slice::State::kRunning,
+                "WorkQueue: complete() on a slice that is not running");
+  s.state = Slice::State::kDone;
+  s.rows_done = s.rows;
+  s.events = events;
+  s.worker = -1;
+  s.error.clear();
+}
+
+void WorkQueue::complete_resumed(int slice, std::uint64_t events) {
+  Slice& s = at(slice);
+  util::require(s.state == Slice::State::kPending,
+                "WorkQueue: complete_resumed() on a claimed slice");
+  s.state = Slice::State::kDone;
+  s.rows_done = s.rows;
+  s.events = events;
+}
+
+bool WorkQueue::requeue(int slice, const std::string& reason) {
+  Slice& s = at(slice);
+  util::require(s.state == Slice::State::kRunning,
+                "WorkQueue: requeue() on a slice that is not running");
+  s.worker = -1;
+  s.rows_done = 0;
+  s.events = 0;
+  s.error = reason;
+  if (s.attempts >= max_attempts_) {
+    s.state = Slice::State::kFailed;
+    return false;
+  }
+  s.state = Slice::State::kPending;
+  return true;
+}
+
+void WorkQueue::fail_pending(const std::string& reason) {
+  for (Slice& s : slices_) {
+    if (s.state != Slice::State::kPending) continue;
+    s.state = Slice::State::kFailed;
+    s.error = reason;
+  }
+}
+
+int WorkQueue::count(Slice::State state) const {
+  int n = 0;
+  for (const Slice& s : slices_) n += s.state == state ? 1 : 0;
+  return n;
+}
+
+std::size_t WorkQueue::rows_total() const {
+  std::size_t n = 0;
+  for (const Slice& s : slices_) n += s.rows;
+  return n;
+}
+
+std::size_t WorkQueue::rows_done() const {
+  std::size_t n = 0;
+  for (const Slice& s : slices_) {
+    if (s.state == Slice::State::kDone) n += s.rows;
+    else if (s.state == Slice::State::kRunning) n += s.rows_done;
+  }
+  return n;
+}
+
+std::uint64_t WorkQueue::events_total() const {
+  std::uint64_t n = 0;
+  for (const Slice& s : slices_) {
+    if (s.state == Slice::State::kDone || s.state == Slice::State::kRunning) {
+      n += s.events;
+    }
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// SliceJournal
+// ---------------------------------------------------------------------------
+
+SliceJournal::SliceJournal(SliceJournal&& other) noexcept : f_(other.f_) {
+  other.f_ = nullptr;
+}
+
+SliceJournal& SliceJournal::operator=(SliceJournal&& other) noexcept {
+  if (this != &other) {
+    if (f_ != nullptr) std::fclose(f_);
+    f_ = other.f_;
+    other.f_ = nullptr;
+  }
+  return *this;
+}
+
+SliceJournal::~SliceJournal() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+SliceJournal SliceJournal::create(const std::string& path, const Header& header) {
+  SliceJournal j;
+  j.f_ = std::fopen(path.c_str(), "wb");
+  if (j.f_ == nullptr) {
+    throw std::runtime_error("dispatch: cannot write journal '" + path + "'");
+  }
+  json::Value h;
+  h.set("speakup_dispatch_journal", 1);
+  h.set("scenario", header.scenario_path);
+  h.set("scenarios", static_cast<double>(header.scenario_count));
+  h.set("slices", header.slices);
+  j.line(h.dump(0));
+  return j;
+}
+
+SliceJournal SliceJournal::append_to(const std::string& path) {
+  SliceJournal j;
+  j.f_ = std::fopen(path.c_str(), "ab");
+  if (j.f_ == nullptr) {
+    throw std::runtime_error("dispatch: cannot append to journal '" + path + "'");
+  }
+  return j;
+}
+
+SliceJournal::Header SliceJournal::read_header(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("dispatch: no journal at '" + path +
+                             "' (nothing to resume)");
+  }
+  std::string first;
+  for (int c = std::fgetc(f); c != EOF && c != '\n'; c = std::fgetc(f)) {
+    first.push_back(static_cast<char>(c));
+  }
+  std::fclose(f);
+  json::Value v;
+  try {
+    v = json::parse(first);
+  } catch (const json::Error&) {
+    throw std::runtime_error("dispatch: '" + path + "' is not a dispatch journal");
+  }
+  const json::Value* magic = v.find("speakup_dispatch_journal");
+  const json::Value* scenario = v.find("scenario");
+  const json::Value* scenarios = v.find("scenarios");
+  const json::Value* slices = v.find("slices");
+  if (magic == nullptr || scenario == nullptr || !scenario->is_string() ||
+      scenarios == nullptr || !scenarios->is_number() || slices == nullptr ||
+      !slices->is_number()) {
+    throw std::runtime_error("dispatch: '" + path + "' is not a dispatch journal");
+  }
+  Header h;
+  h.scenario_path = scenario->as_string();
+  h.scenario_count = static_cast<std::size_t>(scenarios->as_int());
+  h.slices = static_cast<int>(slices->as_int());
+  return h;
+}
+
+void SliceJournal::line(const std::string& text) {
+  if (f_ == nullptr) return;
+  std::fputs(text.c_str(), f_);
+  std::fputc('\n', f_);
+  std::fflush(f_);
+}
+
+void SliceJournal::claim(int slice, int attempt, int worker_pid) {
+  line("claim " + std::to_string(slice) + " attempt " + std::to_string(attempt) +
+       " pid " + std::to_string(worker_pid));
+}
+
+void SliceJournal::done(int slice, std::size_t rows, std::uint64_t events) {
+  line("done " + std::to_string(slice) + " rows " + std::to_string(rows) +
+       " events " + std::to_string(events));
+}
+
+void SliceJournal::fail(int slice, int attempt, const std::string& reason) {
+  std::string flat = reason;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  line("fail " + std::to_string(slice) + " attempt " + std::to_string(attempt) +
+       " reason " + flat);
+}
+
+void SliceJournal::note(const std::string& what) {
+  std::string flat = what;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  line("note " + flat);
+}
+
+}  // namespace speakup::exp

@@ -1,0 +1,139 @@
+// Work-stealing slice queue + claim journal for `speakup dispatch`.
+//
+// A dispatched sweep is cut into M shard slices (slice k of M owns exactly
+// the scenarios `speakup run --shard k/M` would run, so completed slice
+// CSVs merge byte-identically to a single-process run). WorkQueue tracks
+// each slice through pending -> running -> done, requeues slices lost to a
+// dead or silent worker until their attempt budget runs out, and accounts
+// rows/events progress for the live status view. SliceJournal is the
+// dispatcher's on-disk record of that state machine: an append-only file
+// under the work directory whose header pins the sweep's identity
+// (scenario file, expansion size, slice count) so a killed dispatcher can
+// be restarted with --resume against the same work directory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace speakup::exp {
+
+/// One shard slice of a sweep — the unit `speakup dispatch` hands to a
+/// worker.
+struct Slice {
+  enum class State { kPending, kRunning, kDone, kFailed };
+
+  int id = 0;
+  std::size_t rows = 0;  // scenarios in this slice
+  State state = State::kPending;
+  int attempts = 0;    // times handed to a worker
+  int worker = -1;     // worker currently running it (-1 otherwise)
+  std::size_t rows_done = 0;  // within-slice progress (from heartbeats)
+  std::uint64_t events = 0;   // sim events executed so far / in total
+  std::string error;          // most recent failure reason
+};
+
+/// In-memory slice state machine. Pull-based work stealing: an idle worker
+/// claims the next pending slice; there is no static assignment, so a slow
+/// worker never strands work. Driven single-threaded from the dispatcher's
+/// poll loop — no locking.
+class WorkQueue {
+ public:
+  /// `rows_per_slice[i]` is slice i's scenario count; `max_attempts` is how
+  /// many times a slice may be handed out before it is marked failed
+  /// (1 + `--retries`).
+  WorkQueue(std::vector<std::size_t> rows_per_slice, int max_attempts);
+
+  /// Claims the lowest-id pending slice for `worker`; -1 when none is
+  /// pending (the caller keeps the worker idle — a running slice may still
+  /// be requeued).
+  int claim(int worker);
+
+  /// Heartbeat progress for a running slice.
+  void heartbeat(int slice, std::size_t rows_done, std::uint64_t events);
+
+  /// A worker finished a slice and its CSV is on disk.
+  void complete(int slice, std::uint64_t events);
+
+  /// Marks a slice done without running it (validated --resume artifact).
+  void complete_resumed(int slice, std::uint64_t events);
+
+  /// The slice's worker died or reported failure: back to pending, unless
+  /// the attempt budget is spent — then kFailed. Returns true when the
+  /// slice was requeued, false when it is now permanently failed.
+  bool requeue(int slice, const std::string& reason);
+
+  /// Marks every still-pending slice failed (no workers can be had for
+  /// them); running slices are untouched.
+  void fail_pending(const std::string& reason);
+
+  [[nodiscard]] const std::vector<Slice>& slices() const { return slices_; }
+  [[nodiscard]] const Slice& slice(int id) const { return slices_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] int size() const { return static_cast<int>(slices_.size()); }
+
+  [[nodiscard]] int pending() const { return count(Slice::State::kPending); }
+  [[nodiscard]] int running() const { return count(Slice::State::kRunning); }
+  [[nodiscard]] int done() const { return count(Slice::State::kDone); }
+  [[nodiscard]] int failed() const { return count(Slice::State::kFailed); }
+
+  /// Every slice reached a terminal state (done or failed).
+  [[nodiscard]] bool settled() const { return pending() == 0 && running() == 0; }
+  /// settled() with nothing failed: the sweep is complete and mergeable.
+  [[nodiscard]] bool complete_ok() const { return settled() && failed() == 0; }
+
+  [[nodiscard]] std::size_t rows_total() const;
+  /// Rows finished across done slices plus heartbeat progress of running
+  /// ones (the progress-bar numerator).
+  [[nodiscard]] std::size_t rows_done() const;
+  [[nodiscard]] std::uint64_t events_total() const;
+
+ private:
+  [[nodiscard]] int count(Slice::State s) const;
+  Slice& at(int id);
+
+  std::vector<Slice> slices_;
+  int max_attempts_;
+};
+
+/// Append-only dispatch journal. First line is a JSON header identifying
+/// the sweep; every subsequent line is one event (`claim`, `done`, `fail`,
+/// `note`), flushed as written so the file is meaningful after a kill -9.
+/// Resume trusts the header for identity but re-validates slice CSVs on
+/// disk rather than replaying events — artifacts beat bookkeeping.
+class SliceJournal {
+ public:
+  struct Header {
+    std::string scenario_path;
+    std::size_t scenario_count = 0;
+    int slices = 0;
+  };
+
+  SliceJournal() = default;
+  SliceJournal(SliceJournal&& other) noexcept;
+  SliceJournal& operator=(SliceJournal&& other) noexcept;
+  ~SliceJournal();
+  SliceJournal(const SliceJournal&) = delete;
+  SliceJournal& operator=(const SliceJournal&) = delete;
+
+  /// Truncates `path` and writes a fresh header.
+  static SliceJournal create(const std::string& path, const Header& header);
+  /// Opens an existing journal for appending (--resume).
+  static SliceJournal append_to(const std::string& path);
+  /// Parses the header line of an existing journal. Throws
+  /// std::runtime_error when the file is missing or not a dispatch journal.
+  static Header read_header(const std::string& path);
+
+  void claim(int slice, int attempt, int worker_pid);
+  void done(int slice, std::size_t rows, std::uint64_t events);
+  void fail(int slice, int attempt, const std::string& reason);
+  void note(const std::string& what);
+
+ private:
+  void line(const std::string& text);
+
+  std::FILE* f_ = nullptr;
+};
+
+}  // namespace speakup::exp

@@ -287,6 +287,85 @@ TEST(ResultWriter, ResumeInfoDropsFailedRowsAndKeepsLabels) {
   EXPECT_EQ(info.completed_csv.find("exploded"), std::string::npos);
 }
 
+// A worker killed mid-write leaves the CSV without a trailing newline; the
+// dangling fragment must be re-run, not merged — even when the cut lands
+// right after a comma, which makes the fragment end in an "empty error
+// column" exactly like a completed row.
+TEST(ResultWriter, ResumeInfoDropsTruncatedTrailingRow) {
+  ResultWriter w;
+  w.add(0, synthetic_outcome("a", 0));
+  w.add(1, synthetic_outcome("b", 1));
+  std::ostringstream os;
+  w.write_csv(os);
+  const std::string full = os.str();
+
+  // Cut mid-way through the last row, right after a comma.
+  const std::size_t cut = full.find_last_of(',');
+  ASSERT_NE(cut, std::string::npos);
+  const std::string truncated = full.substr(0, cut + 1);
+
+  const ResultWriter::ResumeInfo info = ResultWriter::resume_info(truncated);
+  ASSERT_EQ(info.completed.size(), 1u);
+  EXPECT_EQ(info.completed[0].first, 0u);
+  // Byte-level: the partial row of index 1 must not leak into the baseline.
+  EXPECT_EQ(ResultWriter::csv_indices(info.completed_csv),
+            std::vector<std::size_t>{0});
+}
+
+// A newline-terminated row with too few columns is corrupt, not completed.
+TEST(ResultWriter, ResumeInfoSkipsShortRows) {
+  ResultWriter w;
+  w.add(0, synthetic_outcome("a", 0));
+  std::ostringstream os;
+  w.write_csv(os);
+  const std::string csv = os.str() + "1,short,auction,7,50,3,\n";
+  const ResultWriter::ResumeInfo info = ResultWriter::resume_info(csv);
+  ASSERT_EQ(info.completed.size(), 1u);
+  EXPECT_EQ(info.completed[0].first, 0u);
+}
+
+// A duplicate index means the file was never a write_csv output — refuse to
+// resume from it rather than guess which copy to keep.
+TEST(ResultWriter, ResumeInfoThrowsOnDuplicateIndex) {
+  ResultWriter w;
+  w.add(0, synthetic_outcome("a", 0));
+  std::ostringstream os;
+  w.write_csv(os);
+  const std::string full = os.str();
+  const std::size_t row_start = full.find('\n') + 1;
+  const std::string doubled = full + full.substr(row_start);
+  EXPECT_THROW((void)ResultWriter::resume_info(doubled), std::invalid_argument);
+}
+
+// The names overload says which input(s) carry a colliding index, and
+// whether the duplication is across inputs or inside a single file.
+TEST(ResultWriter, MergeDuplicateDiagnosticsNameTheInputs) {
+  ResultWriter w;
+  w.add(0, synthetic_outcome("a", 0));
+  std::ostringstream os;
+  w.write_csv(os);
+  const std::string shard = os.str();
+
+  try {
+    (void)ResultWriter::merge_csv({shard, shard}, {"left.csv", "right.csv"});
+    FAIL() << "duplicate index across inputs not rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("left.csv"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("right.csv"), std::string::npos) << msg;
+  }
+
+  const std::size_t row_start = shard.find('\n') + 1;
+  const std::string doubled = shard + shard.substr(row_start);
+  try {
+    (void)ResultWriter::merge_csv({doubled}, {"self.csv"});
+    FAIL() << "duplicate index inside one input not rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("inside 'self.csv'"), std::string::npos) << msg;
+  }
+}
+
 TEST(ResultWriter, CsvIndicesRoundTrip) {
   ResultWriter w;
   w.add(4, synthetic_outcome("e", 4));

@@ -3,6 +3,8 @@
 //   speakup run scenarios/fig2.json --out results.csv --jobs 4
 //   speakup run scenarios/fig2.json --shard 0/2 --out shard0.csv
 //   speakup run scenarios/fig2.json --out results.csv --resume
+//   speakup run scenarios/fig2.json --list
+//   speakup dispatch scenarios/fig2.json --workers 4 --out results.csv
 //   speakup merge --out merged.csv shard0.csv shard1.csv
 //   speakup merge --json --out merged.json shard0.json shard1.json
 //   speakup validate scenarios/fig2.json
@@ -15,8 +17,14 @@
 // unsharded output (results are deterministic per scenario + seed, so
 // splitting work across processes never changes numbers). `--resume` skips
 // scenario indices already present in the `--out` CSV and merges the rest
-// in, byte-identical to an uninterrupted run. Full usage notes live in
-// docs/cli.md; the file format in docs/scenario_format.md.
+// in, byte-identical to an uninterrupted run. `dispatch` is the
+// fault-tolerant multi-process driver built on the same shard slices: it
+// spawns `speakup worker` subprocesses (an internal mode, not for direct
+// use) and supervises them — see exp/dispatch.hpp and docs/cli.md. Full
+// usage notes live in docs/cli.md; the file format in
+// docs/scenario_format.md.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -28,9 +36,11 @@
 
 #include "client/strategy.hpp"
 #include "core/front_end_factory.hpp"
+#include "exp/dispatch.hpp"
 #include "exp/result_writer.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario_io.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -47,7 +57,16 @@ int usage(std::FILE* to) {
                "    --jobs N         thread-pool size (default: hardware concurrency)\n"
                "    --shard i/M      run only scenarios with index %% M == i\n"
                "    --resume         skip indices already in the --out CSV, merge the rest\n"
+               "    --list           print the expanded index/label/seed table, run nothing\n"
                "    --quiet          suppress the summary table on stdout\n"
+               "  speakup dispatch <scenarios.json> --out FILE [options]\n"
+               "                                           fault-tolerant multi-worker sweep\n"
+               "    --workers N      worker subprocesses to keep alive (default 4)\n"
+               "    --slices M       shard slices to cut the sweep into (default 4*N)\n"
+               "    --retries K      extra attempts per slice after a worker loss (default 2)\n"
+               "    --heartbeat-ms T declare a worker dead after T ms of silence (default 2000)\n"
+               "    --status MODE    auto|tty|json progress view (json: one line per event)\n"
+               "    --resume         pick up a killed dispatcher's work directory\n"
                "  speakup merge --out FILE <shard.csv>...  merge sharded CSV outputs\n"
                "    --json           inputs/output are JSON result documents\n"
                "  speakup validate <scenarios.json>        parse + list expanded scenarios\n"
@@ -110,6 +129,7 @@ int cmd_run(const std::vector<std::string>& args) {
   int shard_index = 0, shard_count = 1;
   bool quiet = false;
   bool resume = false;
+  bool list_only = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto value = [&]() -> const std::string& {
@@ -132,6 +152,8 @@ int cmd_run(const std::vector<std::string>& args) {
       }
     } else if (a == "--resume") {
       resume = true;
+    } else if (a == "--list") {
+      list_only = true;
     } else if (a == "--quiet") {
       quiet = true;
     } else if (!a.empty() && a[0] == '-') {
@@ -154,6 +176,20 @@ int cmd_run(const std::vector<std::string>& args) {
 
   const exp::ScenarioFile file = exp::load_scenario_file(scenario_path);
   std::vector<exp::LabeledScenario> slice = file.shard(shard_index, shard_count);
+
+  // --list: show exactly what would run (the dispatcher cuts slices with
+  // the same expansion + shard math, so this is the slice debugger too).
+  if (list_only) {
+    std::printf("index\tlabel\tdefense\tseed\tcapacity_rps\tduration_s\n");
+    for (const exp::LabeledScenario& s : slice) {
+      std::printf("%zu\t%s\t%s\t%llu\t%s\t%s\n", s.index, s.label.c_str(),
+                  s.config.defense_name().c_str(),
+                  static_cast<unsigned long long>(s.config.seed),
+                  util::json::number_to_string(s.config.capacity_rps).c_str(),
+                  util::json::number_to_string(s.config.duration.sec()).c_str());
+    }
+    return 0;
+  }
 
   // --resume: drop the indices an earlier (interrupted) run already
   // completed; failed rows are dropped from the baseline so their scenarios
@@ -265,8 +301,10 @@ int cmd_merge(const std::vector<std::string>& args) {
   std::vector<std::string> contents;
   contents.reserve(inputs.size());
   for (const std::string& p : inputs) contents.push_back(read_file(p));
-  const std::string merged = json ? exp::ResultWriter::merge_json(contents)
-                                  : exp::ResultWriter::merge_csv(contents);
+  // File names ride along so a duplicate-index rejection can say which
+  // input(s) carry the colliding row.
+  const std::string merged = json ? exp::ResultWriter::merge_json(contents, inputs)
+                                  : exp::ResultWriter::merge_csv(contents, inputs);
   if (out_path.empty() || out_path == "-") {
     std::fputs(merged.c_str(), stdout);
   } else {
@@ -274,6 +312,84 @@ int cmd_merge(const std::vector<std::string>& args) {
     std::printf("merged %zu file(s) into %s\n", inputs.size(), out_path.c_str());
   }
   return 0;
+}
+
+/// The path to re-spawn ourselves as `speakup worker` processes.
+std::string self_exe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+int cmd_dispatch(const std::vector<std::string>& args, const char* argv0) {
+  exp::DispatchOptions opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::runtime_error("option " + a + " needs a value");
+      }
+      return args[++i];
+    };
+    if (a == "--out") {
+      opts.out_csv = value();
+    } else if (a == "--workers") {
+      opts.workers = parse_int_arg("--workers", value());
+      if (opts.workers < 1) throw std::runtime_error("--workers must be >= 1");
+    } else if (a == "--slices") {
+      opts.slices = parse_int_arg("--slices", value());
+      if (opts.slices < 1) throw std::runtime_error("--slices must be >= 1");
+    } else if (a == "--retries") {
+      opts.retries = parse_int_arg("--retries", value());
+      if (opts.retries < 0) throw std::runtime_error("--retries must be >= 0");
+    } else if (a == "--heartbeat-ms") {
+      opts.heartbeat_ms = parse_int_arg("--heartbeat-ms", value());
+      if (opts.heartbeat_ms < 50) {
+        throw std::runtime_error("--heartbeat-ms must be >= 50");
+      }
+    } else if (a == "--status") {
+      const std::string& mode = value();
+      if (mode == "auto") opts.status = exp::DispatchOptions::Status::kAuto;
+      else if (mode == "tty") opts.status = exp::DispatchOptions::Status::kTty;
+      else if (mode == "json") opts.status = exp::DispatchOptions::Status::kJson;
+      else throw std::runtime_error("--status wants auto, tty, or json (got '" + mode + "')");
+    } else if (a == "--resume") {
+      opts.resume = true;
+    } else if (!a.empty() && a[0] == '-') {
+      throw std::runtime_error("unknown option '" + a + "' for dispatch");
+    } else if (opts.scenario_path.empty()) {
+      opts.scenario_path = a;
+    } else {
+      throw std::runtime_error("dispatch takes exactly one scenario file");
+    }
+  }
+  if (opts.scenario_path.empty()) {
+    throw std::runtime_error("dispatch needs a scenario file");
+  }
+  if (opts.out_csv.empty()) {
+    throw std::runtime_error("dispatch needs --out FILE (the merged CSV destination)");
+  }
+  opts.exe = self_exe(argv0);
+  const exp::DispatchReport report = exp::dispatch_sweep(opts);
+  for (const std::string& f : report.failures) {
+    std::fprintf(stderr, "dispatch: %s\n", f.c_str());
+  }
+  // Mirror `run`: scenario-level failures (error rows in the CSV) exit 1,
+  // as does a sweep that could not complete every slice.
+  return report.ok && report.rows_failed == 0 ? 0 : 1;
+}
+
+int cmd_worker(const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    throw std::runtime_error(
+        "worker is internal to dispatch: "
+        "speakup worker <scenarios.json> <workdir> <heartbeat-ms>");
+  }
+  return exp::run_worker(args[0], args[1], parse_int_arg("heartbeat-ms", args[2]));
 }
 
 int cmd_validate(const std::vector<std::string>& args) {
@@ -312,6 +428,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   try {
     if (cmd == "run") return cmd_run(args);
+    if (cmd == "dispatch") return cmd_dispatch(args, argv[0]);
+    if (cmd == "worker") return cmd_worker(args);
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "validate") return cmd_validate(args);
     if (cmd == "defenses") return cmd_defenses();
