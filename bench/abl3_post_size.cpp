@@ -6,35 +6,17 @@
 // LAN-RTT good population (equal bandwidth, so the ideal split is 50/50)
 // and shrink the POST: the long-RTT group's share should degrade as the
 // POST stops dwarfing its BDP.
+//
+// The grid lives in scenarios/abl3.json (one scenario per POST size,
+// labeled "NKB"); `speakup run` on that file reproduces these numbers
+// exactly.
 #include <iostream>
 #include <string>
 
 #include "bench/bench_common.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
 #include "stats/table.hpp"
-
-namespace {
-
-speakup::exp::ScenarioConfig scenario(std::int64_t post_kb) {
-  using namespace speakup;
-  exp::ScenarioConfig cfg;
-  cfg.mode = exp::DefenseMode::kAuction;
-  cfg.capacity_rps = 10.0;
-  cfg.seed = 33;
-  cfg.duration = bench::experiment_duration();
-  for (const bool long_rtt : {false, true}) {
-    exp::ClientGroupSpec g;
-    g.label = long_rtt ? "long-rtt" : "lan-rtt";
-    g.count = 10;
-    g.workload = client::good_client_params();
-    g.workload.post_size = kilobytes(post_kb);
-    g.access_delay = long_rtt ? Duration::millis(150) : Duration::micros(500);
-    cfg.groups.push_back(g);
-  }
-  return cfg;
-}
-
-}  // namespace
 
 int main() {
   using namespace speakup;
@@ -45,10 +27,10 @@ int main() {
       "ramps, taxing long-RTT clients");
 
   const std::int64_t kPostKb[] = {25, 100, 1000};
+  exp::ScenarioFile file = bench::load_scenarios("abl3.json");
+  bench::apply_full_duration(file);
   exp::Runner runner;
-  for (const std::int64_t post_kb : kPostKb) {
-    runner.add(scenario(post_kb), std::to_string(post_kb) + "KB");
-  }
+  file.queue_on(runner);
   bench::run_all(runner);
 
   stats::Table table({"post-size-KB", "lan-rtt-alloc", "long-rtt-alloc",

@@ -2,10 +2,14 @@
 // five categories: category i (10 clients) has 0.5*i Mbit/s. c = 10
 // requests/s. The fraction of the server allocated to each category should
 // track the bandwidth-proportional ideal.
+//
+// The scenario lives in scenarios/fig6.json (labeled "hetero-bw");
+// `speakup run` on that file reproduces these numbers exactly.
 #include <iostream>
 
 #include "bench/bench_common.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -15,26 +19,15 @@ int main() {
       "allocation per category is close to the proportional ideal "
       "(category i with 0.5*i Mbit/s gets ~i/15 of the server)");
 
-  exp::ScenarioConfig cfg;
-  cfg.mode = exp::DefenseMode::kAuction;
-  cfg.capacity_rps = 10.0;
-  cfg.seed = 25;
-  cfg.duration = bench::experiment_duration();
-  double total_bw = 0.0;
-  for (int i = 1; i <= 5; ++i) {
-    exp::ClientGroupSpec g;
-    g.label = "cat" + std::to_string(i);
-    g.count = 10;
-    g.workload = client::good_client_params();
-    g.access_bw = Bandwidth::mbps(0.5 * i);
-    cfg.groups.push_back(g);
-    total_bw += 10 * 0.5 * i;
-  }
+  exp::ScenarioFile file = bench::load_scenarios("fig6.json");
+  bench::apply_full_duration(file);
   exp::Runner runner;
-  runner.add(cfg, "hetero-bw");
+  file.queue_on(runner);
   bench::run_all(runner);
   const exp::ExperimentResult& r = runner.result("hetero-bw");
 
+  // Sum of 10 clients per category at 0.5*i Mbit/s, i = 1..5.
+  const double total_bw = 10 * 0.5 * (1 + 2 + 3 + 4 + 5);
   stats::Table table({"category", "bandwidth-Mbit/s", "observed-alloc", "ideal-alloc"});
   for (int i = 1; i <= 5; ++i) {
     table.row()

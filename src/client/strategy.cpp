@@ -261,6 +261,108 @@ class FlashCrowdStrategy final : public Strategy {
   const double factor_;
 };
 
+// ---------------------------------------------------------------------------
+// "recon" — coupon-collector reconnaissance (Fleck et al.): the first
+// `probes` arrivals are probes sent at rate `probe_lambda` whose kPleasePay
+// is refused — the attacker maps the defense's behavior before committing
+// any bandwidth. After the probe budget is spent it behaves exactly like
+// "poisson" (pays, base rate). With probes = 0 the probe phase never
+// exists, so the strategy is bit-for-bit identical to "poisson": one
+// exponential draw per arrival, no other RNG consumption.
+// ---------------------------------------------------------------------------
+
+class ReconStrategy final : public Strategy {
+ public:
+  explicit ReconStrategy(StrategyParams p)
+      : Strategy(std::move(p)),
+        probes_(params_.knob("probes", 8.0)),
+        probe_lambda_(params_.knob("probe_lambda", 0.0)) {
+    params_.require_knobs(name(), {"probes", "probe_lambda"});
+    if (probes_ < 0) bad_knob(name(), "probes must be >= 0");
+    if (probe_lambda_ < 0) bad_knob(name(), "probe_lambda must be >= 0 (0 = base lambda)");
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "recon"; }
+
+  [[nodiscard]] Duration next_arrival(util::RngStream& rng,
+                                      const StrategyView& v) override {
+    (void)v;
+    const double rate =
+        probing() && probe_lambda_ > 0 ? probe_lambda_ : params_.lambda;
+    const Duration gap = Duration::seconds(rng.exponential(rate));
+    ++arrivals_drawn_;
+    return gap;
+  }
+
+  [[nodiscard]] bool pay(util::RngStream& rng, const StrategyView& v) override {
+    (void)rng;
+    (void)v;
+    // Probe requests collect behavior without committing bandwidth. The
+    // payment decision keys off how many arrivals have been drawn, which is
+    // deterministic per seed.
+    return arrivals_drawn_ > probes_;
+  }
+
+ private:
+  /// True while the next arrival to draw is still a probe.
+  [[nodiscard]] bool probing() const {
+    return static_cast<double>(arrivals_drawn_) < probes_;
+  }
+
+  const double probes_;
+  const double probe_lambda_;
+  std::int64_t arrivals_drawn_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// "switcher" — a strategy-switching attacker: plays the cooperative payer
+// until the admission rate signals the defense has effectively detected
+// (priced out) it, then defects to free-riding. Concretely: once at least
+// `min_observations` requests have resolved and the observed fraction
+// served drops below `served_threshold`, every later kPleasePay is refused.
+// Against "none"/"elastic" it never defects (everything resolves quickly);
+// against the auction it stops wasting bandwidth once outbid.
+// ---------------------------------------------------------------------------
+
+class SwitcherStrategy final : public Strategy {
+ public:
+  explicit SwitcherStrategy(StrategyParams p)
+      : Strategy(std::move(p)),
+        min_obs_(params_.knob("min_observations", 20.0)),
+        threshold_(params_.knob("served_threshold", 0.2)) {
+    params_.require_knobs(name(), {"min_observations", "served_threshold"});
+    if (min_obs_ < 1) bad_knob(name(), "min_observations must be >= 1");
+    if (threshold_ < 0 || threshold_ > 1) {
+      bad_knob(name(), "served_threshold must be in [0, 1]");
+    }
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "switcher"; }
+
+  [[nodiscard]] Duration next_arrival(util::RngStream& rng,
+                                      const StrategyView& v) override {
+    (void)v;
+    return Duration::seconds(rng.exponential(params_.lambda));
+  }
+
+  [[nodiscard]] bool pay(util::RngStream& rng, const StrategyView& v) override {
+    (void)rng;
+    if (defected_) return false;
+    const std::int64_t resolved = v.stats->resolved();
+    if (static_cast<double>(resolved) >= min_obs_ &&
+        v.stats->fraction_served() < threshold_) {
+      defected_ = true;  // sticky: detection signals don't un-ring
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const double min_obs_;
+  const double threshold_;
+  bool defected_ = false;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -291,6 +393,13 @@ StrategyFactory::StrategyFactory() {
   builders_.emplace_back(
       "flash-crowd", [](const StrategyParams& p) -> std::unique_ptr<Strategy> {
         return std::make_unique<FlashCrowdStrategy>(p);
+      });
+  builders_.emplace_back("recon", [](const StrategyParams& p) -> std::unique_ptr<Strategy> {
+    return std::make_unique<ReconStrategy>(p);
+  });
+  builders_.emplace_back(
+      "switcher", [](const StrategyParams& p) -> std::unique_ptr<Strategy> {
+        return std::make_unique<SwitcherStrategy>(p);
       });
 }
 

@@ -27,6 +27,10 @@
 //   "defector"        §7.4 gaming: pays until admitted, then stops paying.
 //   "adaptive-window" ramps concurrency with the observed denial rate.
 //   "flash-crowd"     a correlated surge of legitimate demand (no malice).
+//   "recon"           coupon-collector reconnaissance: probes without paying
+//                     before committing bandwidth (probes=0 == "poisson").
+//   "switcher"        pays until the admission rate signals detection, then
+//                     defects to free-riding.
 #pragma once
 
 #include <functional>

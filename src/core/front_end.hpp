@@ -28,6 +28,16 @@ struct FrontEndConfig {
   Duration payment_window = Duration::seconds(10);
   Duration quantum = Duration::zero();  // 0 -> 1/c (quantum auction only)
   Duration suspension_limit = Duration::seconds(30);
+  // "elastic" (Bohatei-style scale-up): capacity may grow to
+  // elastic_max_scale x the base rate, doubling after each monitoring
+  // interval whose busy fraction reaches elastic_threshold. A max scale of
+  // 1.0 arms no monitor at all (event-identical to "none").
+  double elastic_max_scale = 4.0;
+  Duration elastic_interval = Duration::seconds(5);
+  double elastic_threshold = 0.9;
+  // "puzzle" (proof-of-work currency): seconds of client compute per unit
+  // of request difficulty before a held request becomes admissible.
+  Duration puzzle_cost = Duration::seconds(2);
   std::uint32_t request_port = 80;
   std::uint32_t payment_port = 81;
 };

@@ -4,7 +4,9 @@
 #include <sstream>
 
 #include "core/auction_thinner.hpp"
+#include "core/elastic_front_end.hpp"
 #include "core/no_defense.hpp"
+#include "core/puzzle_front_end.hpp"
 #include "core/quantum_thinner.hpp"
 #include "core/retry_thinner.hpp"
 #include "util/assert.hpp"
@@ -62,6 +64,28 @@ FrontEndFactory::FrontEndFactory() {
         tc.request_port = cfg.request_port;
         tc.payment_port = cfg.payment_port;
         return std::make_unique<QuantumAuctionThinner>(host, tc, std::move(rng));
+      });
+  builders_.emplace_back(
+      "elastic", [](transport::Host& host, const FrontEndConfig& cfg,
+                    util::RngStream rng) -> std::unique_ptr<FrontEnd> {
+        ElasticFrontEnd::Config tc;
+        tc.capacity_rps = cfg.capacity_rps;
+        tc.response_body = cfg.response_body;
+        tc.max_scale = cfg.elastic_max_scale;
+        tc.interval = cfg.elastic_interval;
+        tc.threshold = cfg.elastic_threshold;
+        tc.request_port = cfg.request_port;
+        return std::make_unique<ElasticFrontEnd>(host, tc, std::move(rng));
+      });
+  builders_.emplace_back(
+      "puzzle", [](transport::Host& host, const FrontEndConfig& cfg,
+                   util::RngStream rng) -> std::unique_ptr<FrontEnd> {
+        PuzzleFrontEnd::Config tc;
+        tc.capacity_rps = cfg.capacity_rps;
+        tc.response_body = cfg.response_body;
+        tc.puzzle_cost = cfg.puzzle_cost;
+        tc.request_port = cfg.request_port;
+        return std::make_unique<PuzzleFrontEnd>(host, tc, std::move(rng));
       });
 }
 

@@ -103,6 +103,10 @@ void Experiment::build() {
   fc.payment_window = cfg_.payment_window;
   fc.quantum = cfg_.quantum;
   fc.suspension_limit = cfg_.suspension_limit;
+  fc.elastic_max_scale = cfg_.elastic_max_scale;
+  fc.elastic_interval = cfg_.elastic_interval;
+  fc.elastic_threshold = cfg_.elastic_threshold;
+  fc.puzzle_cost = cfg_.puzzle_cost;
   front_end_ = core::FrontEndFactory::instance().create(
       cfg_.defense_name(), *thinner_host_, fc, util::RngStream(cfg_.seed, "server"));
 }
@@ -287,6 +291,17 @@ std::vector<StrategyResult> ExperimentResult::strategy_totals() const {
     }
   }
   return out;
+}
+
+std::int64_t ExperimentResult::attacker_bytes() const {
+  std::int64_t bytes = 0;
+  for (const GroupResult& g : groups) {
+    if (g.cls != http::ClientClass::kBad) continue;
+    bytes += g.totals.payment_bytes_acked;
+    bytes += static_cast<std::int64_t>(http::kMessageHeaderBytes) *
+             (g.totals.started + g.totals.retries_sent);
+  }
+  return bytes;
 }
 
 ExperimentResult run_scenario(const ScenarioConfig& cfg) {

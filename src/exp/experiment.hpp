@@ -65,6 +65,12 @@ struct ExperimentResult {
   /// Groups merged by workload strategy, in first-appearance order.
   [[nodiscard]] std::vector<StrategyResult> strategy_totals() const;
 
+  /// The tournament's attacker-cost score: bytes the bad-class populations
+  /// transmitted at the front end — payment-channel bytes plus a request
+  /// header per request and retry sent. Derived entirely from fields the
+  /// fingerprint already covers, so it adds no new determinism surface.
+  [[nodiscard]] std::int64_t attacker_bytes() const;
+
   // §7.7 bystander.
   stats::SampleSet collateral_latencies;
   int collateral_failures = 0;

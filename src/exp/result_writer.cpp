@@ -45,10 +45,10 @@ std::string fmt(double v) { return json::number_to_string(v); }
 
 const std::string& ResultWriter::csv_header() {
   static const std::string header =
-      "index,label,defense,seed,capacity_rps,duration_s,"
+      "index,label,defense,strategies,seed,capacity_rps,duration_s,"
       "served_total,served_good,served_bad,"
       "allocation_good,allocation_bad,server_time_good,server_time_bad,"
-      "fraction_good_served,server_busy_fraction,events_executed,"
+      "fraction_good_served,server_busy_fraction,events_executed,attacker_bytes,"
       "fingerprint,error";
   return header;
 }
@@ -56,7 +56,8 @@ const std::string& ResultWriter::csv_header() {
 std::string ResultWriter::csv_row(std::size_t index, const RunOutcome& o) {
   std::ostringstream os;
   os << index << ',' << csv_escape(o.label) << ','
-     << csv_escape(o.config.defense_name()) << ',' << o.config.seed << ','
+     << csv_escape(o.config.defense_name()) << ','
+     << csv_escape(o.config.strategy_names()) << ',' << o.config.seed << ','
      << fmt(o.config.capacity_rps) << ',' << fmt(o.config.duration.sec()) << ',';
   if (o.ok()) {
     const ExperimentResult& r = o.result;
@@ -64,10 +65,11 @@ std::string ResultWriter::csv_row(std::size_t index, const RunOutcome& o) {
        << fmt(r.allocation_good) << ',' << fmt(r.allocation_bad) << ','
        << fmt(r.server_time_good) << ',' << fmt(r.server_time_bad) << ','
        << fmt(r.fraction_good_served) << ',' << fmt(r.server_busy_fraction) << ','
-       << r.events_executed << ',' << fingerprint_hex(r.fingerprint()) << ',';
+       << r.events_executed << ',' << r.attacker_bytes() << ','
+       << fingerprint_hex(r.fingerprint()) << ',';
   } else {
-    // 11 empty metric/fingerprint columns, then the error column.
-    os << ",,,,,,,,,,," << csv_escape(o.error);
+    // 12 empty metric/fingerprint columns, then the error column.
+    os << ",,,,,,,,,,,," << csv_escape(o.error);
   }
   return os.str();
 }
@@ -106,6 +108,7 @@ void ResultWriter::write_json(std::ostream& os) const {
     entry.set("index", static_cast<double>(row->index));
     entry.set("label", o.label);
     entry.set("defense", o.config.defense_name());
+    entry.set("strategy_names", o.config.strategy_names());
     entry.set("seed", static_cast<double>(o.config.seed));
     entry.set("capacity_rps", o.config.capacity_rps);
     entry.set("duration_s", o.config.duration.sec());
@@ -126,6 +129,7 @@ void ResultWriter::write_json(std::ostream& os) const {
     metrics.set("fraction_good_served", r.fraction_good_served);
     metrics.set("server_busy_fraction", r.server_busy_fraction);
     metrics.set("events_executed", static_cast<double>(r.events_executed));
+    metrics.set("attacker_bytes", static_cast<double>(r.attacker_bytes()));
     entry.set("metrics", std::move(metrics));
     json::Value groups{json::Value::Array{}};
     for (const GroupResult& g : r.groups) {

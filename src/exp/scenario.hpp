@@ -4,6 +4,7 @@
 // an optional shared bottleneck, and the optional §7.7 bystander downloader.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -114,6 +115,12 @@ struct ScenarioConfig {
   Duration quantum = Duration::zero();  // 0 -> 1/c (quantum mode only)
   Duration suspension_limit = Duration::seconds(30.0);
   Bytes response_body = 1000;
+  // "elastic" defense knobs (core/elastic_front_end.hpp).
+  double elastic_max_scale = 4.0;
+  Duration elastic_interval = Duration::seconds(5.0);
+  double elastic_threshold = 0.9;
+  // "puzzle" defense knob (core/puzzle_front_end.hpp).
+  Duration puzzle_cost = Duration::seconds(2.0);
 
   // The thinner's access link: condition C1 requires it uncongested.
   Bandwidth thinner_bw = Bandwidth::gbps(10.0);
@@ -123,6 +130,25 @@ struct ScenarioConfig {
   /// The front-end registry key this scenario runs.
   [[nodiscard]] std::string defense_name() const {
     return defense.empty() ? to_string(mode) : defense;
+  }
+
+  /// The distinct workload strategies the groups run, joined with '+' in
+  /// first-appearance order ("poisson+defector"). This is the strategy
+  /// column of CSV rows, `run --list`, and tournament cells — it makes a
+  /// result row self-describing without consulting the scenario file.
+  [[nodiscard]] std::string strategy_names() const {
+    std::vector<std::string_view> seen;
+    std::string out;
+    for (const ClientGroupSpec& g : groups) {
+      const std::string& s = g.workload.strategy;
+      if (std::find(seen.begin(), seen.end(), std::string_view(s)) != seen.end()) {
+        continue;
+      }
+      seen.push_back(s);
+      if (!out.empty()) out += '+';
+      out += s;
+    }
+    return out;
   }
 };
 

@@ -395,6 +395,18 @@ ScenarioConfig config_from_json(const json::Value& v, const std::string& ctx) {
       cfg.suspension_limit = Duration::seconds(positive_num(val, kctx));
     } else if (key == "response_body_bytes") {
       cfg.response_body = positive_int(val, kctx);
+    } else if (key == "elastic_max_scale") {
+      cfg.elastic_max_scale = num_of(val, kctx);
+      if (cfg.elastic_max_scale < 1.0) fail(kctx, "must be >= 1");
+    } else if (key == "elastic_interval_s") {
+      cfg.elastic_interval = Duration::seconds(positive_num(val, kctx));
+    } else if (key == "elastic_threshold") {
+      cfg.elastic_threshold = num_of(val, kctx);
+      if (cfg.elastic_threshold <= 0.0 || cfg.elastic_threshold > 1.0) {
+        fail(kctx, "must be in (0, 1]");
+      }
+    } else if (key == "puzzle_cost_s") {
+      cfg.puzzle_cost = Duration::seconds(positive_num(val, kctx));
     } else if (key == "thinner") {
       link_spec_from_json(val, kctx, "bw_mbps", cfg.thinner_bw, cfg.thinner_delay,
                           cfg.thinner_queue);

@@ -1,0 +1,106 @@
+// Adversarial tournament: the full cross-product of defenses × attacker
+// strategies, scored into a payoff matrix (§7.4's gaming analysis
+// generalized to the whole registry).
+//
+// A tournament spec is a small JSON file: a `base` scenario (server
+// capacity, duration, seed, and the client groups), the list of defenses
+// (rows) and attacker strategies (columns), and which group index plays the
+// attacker. The spec expands into an ordinary scenario file — one scenario
+// entry with a two-axis grid, defense outermost — so the sweep runs through
+// the exact same machinery as `speakup run`: thread pools, `--shard i/M`,
+// `--resume`, and the fault-tolerant dispatcher all work unchanged and
+// byte-identically.
+//
+// Scoring reads the sweep's CSV back and emits, per (defense, strategy)
+// cell, the defender's payoff (fraction of good requests served) and the
+// attacker's cost (bytes transmitted at the front end), plus a dominance /
+// Pareto report over the defense rows. See docs/tournament.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace speakup::exp {
+
+/// Parsed tournament spec. `defenses` and `strategies` default to every
+/// registered name when the spec omits them.
+struct TournamentSpec {
+  std::string description;
+  std::vector<std::string> defenses;    // matrix rows
+  std::vector<std::string> strategies;  // matrix columns (attacker workloads)
+  /// Index into base's "groups" array of the population whose workload
+  /// strategy varies across columns; the other groups are held fixed.
+  std::size_t attacker_group = 1;
+  /// Scenario defaults every cell shares (the scenario-file "defaults"
+  /// object: capacity_rps, duration_s, seed, groups, ...).
+  util::json::Value base;
+};
+
+/// One cell of the payoff matrix.
+struct PayoffCell {
+  std::size_t index = 0;  // scenario index in the expanded sweep
+  std::string defense;
+  std::string strategy;          // the attacker group's workload strategy
+  double good_fraction = 0.0;    // defender payoff: fraction_good_served
+  std::int64_t attacker_bytes = 0;  // attacker cost at the front end
+  std::string fingerprint;       // the run's determinism digest (hex)
+};
+
+struct PayoffMatrix {
+  std::string description;
+  std::vector<std::string> defenses;
+  std::vector<std::string> strategies;
+  /// Row-major, defense outermost: cells[d * strategies.size() + s].
+  std::vector<PayoffCell> cells;
+
+  [[nodiscard]] const PayoffCell& cell(std::size_t d, std::size_t s) const {
+    return cells[d * strategies.size() + s];
+  }
+
+  /// Weak dominance over the defense rows: row `a` weakly dominates row `b`
+  /// when a's good_fraction is >= b's in every strategy column and > in at
+  /// least one.
+  [[nodiscard]] bool dominates(std::size_t a, std::size_t b) const;
+
+  /// Defense rows no other row weakly dominates, in row order.
+  [[nodiscard]] std::vector<std::size_t> pareto_rows() const;
+};
+
+/// Parses a tournament spec document. Defense and strategy names are
+/// validated against the registries; errors throw ScenarioError naming the
+/// offending key.
+[[nodiscard]] TournamentSpec parse_tournament_spec(std::string_view json_text);
+
+/// Reads and parses `path`. Errors are prefixed with the file name.
+[[nodiscard]] TournamentSpec load_tournament_spec(const std::string& path);
+
+/// Expands the spec into scenario-file JSON text (see scenario_io.hpp): one
+/// entry whose grid crosses `defense` (outermost) with the attacker group's
+/// `workload.strategy`, labels "<defense>|<strategy>". The result is
+/// validated by parsing it, so every cell is known to construct before any
+/// sweep starts. Deterministic: same spec, same bytes.
+[[nodiscard]] std::string tournament_scenarios_json(const TournamentSpec& spec);
+
+/// Scores a completed sweep: `results_csv` must be the (merged) ResultWriter
+/// CSV of exactly the sweep tournament_scenarios_json produced — every cell
+/// present once, none failed. Throws std::runtime_error otherwise.
+[[nodiscard]] PayoffMatrix score_tournament(const TournamentSpec& spec,
+                                            const std::string& results_csv);
+
+/// The matrix as CSV: defense,strategy,fraction_good_served,attacker_bytes,
+/// fingerprint — row-major, deterministic.
+[[nodiscard]] std::string payoff_csv(const PayoffMatrix& m);
+
+/// The matrix as a JSON document (defenses, strategies, cells).
+[[nodiscard]] std::string payoff_json(const PayoffMatrix& m);
+
+/// Human-readable per-defense report: the payoff matrix, the best defense
+/// per attacker column, weak-dominance relations, and the Pareto frontier.
+[[nodiscard]] std::string pareto_report(const PayoffMatrix& m);
+
+}  // namespace speakup::exp

@@ -45,6 +45,14 @@ class EmulatedServer {
   [[nodiscard]] bool busy() const { return busy_; }
   [[nodiscard]] double capacity_rps() const { return capacity_rps_; }
 
+  /// Re-provisions the server mid-run (Bohatei-style elastic capacity).
+  /// Only future service-time draws use the new rate; the active request,
+  /// if any, completes at the rate it was admitted under.
+  void set_capacity_rps(double capacity_rps) {
+    util::require(capacity_rps > 0, "server capacity must be positive");
+    capacity_rps_ = capacity_rps;
+  }
+
   /// Admits a request; precondition: the server is free.
   void submit(const ServiceRequest& req) {
     SPEAKUP_ASSERT(!busy_);

@@ -322,13 +322,13 @@ TEST_F(DispatchE2E, RunListPrintsTheExpansionWithoutRunning) {
   const CmdResult r = cli("run " + scenario() + " --list");
   ASSERT_EQ(r.exit_code, 0) << r.err;
   EXPECT_EQ(r.out,
-            "index\tlabel\tdefense\tseed\tcapacity_rps\tduration_s\n"
-            "0\tsmoke/none\tnone\t7\t50\t3\n"
-            "1\tsmoke/retry\tretry\t7\t50\t3\n"
-            "2\tsmoke/auction\tauction\t7\t50\t3\n"
-            "3\tsmoke/quantum\tquantum\t7\t50\t3\n"
-            "4\tsmoke/auction-seeds/seed7\tauction\t7\t50\t3\n"
-            "5\tsmoke/auction-seeds/seed8\tauction\t8\t50\t3\n");
+            "index\tlabel\tdefense\tstrategies\tseed\tcapacity_rps\tduration_s\n"
+            "0\tsmoke/none\tnone\tpoisson\t7\t50\t3\n"
+            "1\tsmoke/retry\tretry\tpoisson\t7\t50\t3\n"
+            "2\tsmoke/auction\tauction\tpoisson\t7\t50\t3\n"
+            "3\tsmoke/quantum\tquantum\tpoisson\t7\t50\t3\n"
+            "4\tsmoke/auction-seeds/seed7\tauction\tpoisson\t7\t50\t3\n"
+            "5\tsmoke/auction-seeds/seed8\tauction\tpoisson\t8\t50\t3\n");
 
   // --shard applies the same slice math the dispatcher uses.
   const CmdResult shard = cli("run " + scenario() + " --list --shard 1/3");

@@ -64,7 +64,7 @@ TEST(ResultWriter, CsvHeaderAndRowShape) {
     return n;
   };
   EXPECT_EQ(count_fields(row), count_fields(ResultWriter::csv_header()));
-  EXPECT_EQ(row.rfind("7,auction/g5,auction,3,100,60,120,90,30,0.75,0.25,0,0,0.5,0.9,1003,", 0), 0u)
+  EXPECT_EQ(row.rfind("7,auction/g5,auction,poisson,3,100,60,120,90,30,0.75,0.25,0,0,0.5,0.9,1003,0,", 0), 0u)
       << row;
   // The fingerprint column holds the result's actual fingerprint as
   // fixed-width hex.
@@ -81,7 +81,7 @@ TEST(ResultWriter, FailedOutcomeRowIsGolden) {
   o.config.duration = Duration::seconds(10.0);
   o.error = "something fell over";
   EXPECT_EQ(ResultWriter::csv_row(2, o),
-            "2,broken,retry,4,50,10,,,,,,,,,,,,something fell over");
+            "2,broken,retry,poisson,4,50,10,,,,,,,,,,,,,something fell over");
 }
 
 TEST(ResultWriter, CsvEscapesDelimitersAndFlattensNewlines) {

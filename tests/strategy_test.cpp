@@ -24,7 +24,7 @@ using client::StrategyParams;
 using client::StrategyView;
 
 constexpr const char* kBuiltins[] = {"poisson", "onoff", "defector", "adaptive-window",
-                                     "flash-crowd"};
+                                     "flash-crowd", "recon", "switcher"};
 
 StrategyParams params_with(double lambda, int window,
                            std::vector<std::pair<std::string, double>> knobs = {}) {

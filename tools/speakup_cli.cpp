@@ -4,6 +4,7 @@
 //   speakup run scenarios/fig2.json --shard 0/2 --out shard0.csv
 //   speakup run scenarios/fig2.json --out results.csv --resume
 //   speakup run scenarios/fig2.json --list
+//   speakup tournament scenarios/tournament_small.json --out tourney/
 //   speakup dispatch scenarios/fig2.json --workers 4 --out results.csv
 //   speakup merge --out merged.csv shard0.csv shard1.csv
 //   speakup merge --json --out merged.json shard0.json shard1.json
@@ -23,9 +24,11 @@
 // use) and supervises them — see exp/dispatch.hpp and docs/cli.md. Full
 // usage notes live in docs/cli.md; the file format in
 // docs/scenario_format.md.
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,6 +43,7 @@
 #include "exp/result_writer.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario_io.hpp"
+#include "exp/tournament.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -67,6 +71,12 @@ int usage(std::FILE* to) {
                "    --heartbeat-ms T declare a worker dead after T ms of silence (default 2000)\n"
                "    --status MODE    auto|tty|json progress view (json: one line per event)\n"
                "    --resume         pick up a killed dispatcher's work directory\n"
+               "  speakup tournament <spec.json> --out DIR [options]\n"
+               "                                           defense x strategy payoff matrix\n"
+               "    --jobs N         thread-pool size (default: hardware concurrency)\n"
+               "    --expand-only    write DIR/scenarios.json and stop (for shard/dispatch)\n"
+               "    --score FILE     score an already-swept results CSV instead of running\n"
+               "    --quiet          suppress the pareto report on stdout\n"
                "  speakup merge --out FILE <shard.csv>...  merge sharded CSV outputs\n"
                "    --json           inputs/output are JSON result documents\n"
                "  speakup validate <scenarios.json>        parse + list expanded scenarios\n"
@@ -180,10 +190,10 @@ int cmd_run(const std::vector<std::string>& args) {
   // --list: show exactly what would run (the dispatcher cuts slices with
   // the same expansion + shard math, so this is the slice debugger too).
   if (list_only) {
-    std::printf("index\tlabel\tdefense\tseed\tcapacity_rps\tduration_s\n");
+    std::printf("index\tlabel\tdefense\tstrategies\tseed\tcapacity_rps\tduration_s\n");
     for (const exp::LabeledScenario& s : slice) {
-      std::printf("%zu\t%s\t%s\t%llu\t%s\t%s\n", s.index, s.label.c_str(),
-                  s.config.defense_name().c_str(),
+      std::printf("%zu\t%s\t%s\t%s\t%llu\t%s\t%s\n", s.index, s.label.c_str(),
+                  s.config.defense_name().c_str(), s.config.strategy_names().c_str(),
                   static_cast<unsigned long long>(s.config.seed),
                   util::json::number_to_string(s.config.capacity_rps).c_str(),
                   util::json::number_to_string(s.config.duration.sec()).c_str());
@@ -276,6 +286,103 @@ int cmd_run(const std::vector<std::string>& args) {
   }
   if (!quiet) runner.summary_table().print(std::cout);
   return failures == 0 ? 0 : 1;
+}
+
+// `speakup tournament spec.json --out DIR`: expand the defense x strategy
+// cross-product into DIR/scenarios.json, sweep it (unless --expand-only or
+// --score), and score the results into DIR/payoff.{csv,json} + pareto.txt.
+// The expansion is an ordinary scenario file, so large tournaments can run
+// it through `run --shard`/`dispatch`, merge, and feed the merged CSV back
+// via --score — byte-identical to the single-process path.
+int cmd_tournament(const std::vector<std::string>& args) {
+  std::string spec_path, out_dir, score_csv;
+  int jobs = 0;
+  bool quiet = false;
+  bool expand_only = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::runtime_error("option " + a + " needs a value");
+      }
+      return args[++i];
+    };
+    if (a == "--out") {
+      out_dir = value();
+    } else if (a == "--jobs") {
+      jobs = parse_int_arg("--jobs", value());
+      if (jobs < 1) throw std::runtime_error("--jobs must be >= 1");
+    } else if (a == "--expand-only") {
+      expand_only = true;
+    } else if (a == "--score") {
+      score_csv = value();
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      throw std::runtime_error("unknown option '" + a + "' for tournament");
+    } else if (spec_path.empty()) {
+      spec_path = a;
+    } else {
+      throw std::runtime_error("tournament takes exactly one spec file");
+    }
+  }
+  if (spec_path.empty()) throw std::runtime_error("tournament needs a spec file");
+  if (out_dir.empty()) {
+    throw std::runtime_error("tournament needs --out DIR (the output directory)");
+  }
+  if (expand_only && !score_csv.empty()) {
+    throw std::runtime_error("--expand-only and --score are mutually exclusive");
+  }
+
+  const exp::TournamentSpec spec = exp::load_tournament_spec(spec_path);
+  const std::string scenarios = exp::tournament_scenarios_json(spec);
+  if (::mkdir(out_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    throw std::runtime_error("cannot create output directory '" + out_dir + "'");
+  }
+  write_file(out_dir + "/scenarios.json", scenarios);
+  if (!quiet) {
+    std::printf("%s: %zu defense(s) x %zu strategy(s) = %zu cell(s); wrote "
+                "%s/scenarios.json\n",
+                spec_path.c_str(), spec.defenses.size(), spec.strategies.size(),
+                spec.defenses.size() * spec.strategies.size(), out_dir.c_str());
+  }
+  if (expand_only) return 0;
+
+  std::string results_csv;
+  if (!score_csv.empty()) {
+    results_csv = read_file(score_csv);
+  } else {
+    const exp::ScenarioFile file = exp::parse_scenario_file(scenarios);
+    exp::Runner runner;
+    file.queue_on(runner);
+    runner.run_all(jobs);
+    exp::ResultWriter writer;
+    for (std::size_t i = 0; i < runner.outcomes().size(); ++i) {
+      const exp::RunOutcome& o = runner.outcomes()[i];
+      writer.add(file.scenarios[i].index, o);
+      if (!o.ok()) {
+        std::fprintf(stderr, "cell '%s' failed: %s\n", o.label.c_str(),
+                     o.error.c_str());
+      }
+    }
+    std::ostringstream os;
+    writer.write_csv(os);
+    results_csv = os.str();
+    write_file(out_dir + "/results.csv", results_csv);
+    if (!quiet) std::printf("wrote %s/results.csv\n", out_dir.c_str());
+  }
+
+  // score_tournament throws (exit 2) when any cell failed or is missing.
+  const exp::PayoffMatrix matrix = exp::score_tournament(spec, results_csv);
+  write_file(out_dir + "/payoff.csv", exp::payoff_csv(matrix));
+  write_file(out_dir + "/payoff.json", exp::payoff_json(matrix));
+  const std::string report = exp::pareto_report(matrix);
+  write_file(out_dir + "/pareto.txt", report);
+  if (!quiet) {
+    std::printf("wrote %s/payoff.csv, payoff.json, pareto.txt\n", out_dir.c_str());
+    std::fputs(report.c_str(), stdout);
+  }
+  return 0;
 }
 
 int cmd_merge(const std::vector<std::string>& args) {
@@ -394,6 +501,35 @@ int cmd_worker(const std::vector<std::string>& args) {
 
 int cmd_validate(const std::vector<std::string>& args) {
   if (args.size() != 1) throw std::runtime_error("validate takes one scenario file");
+  // A tournament spec (distinguished by its "base" key) validates through
+  // the tournament path: parse the spec, expand it, and re-validate the
+  // expansion as an ordinary scenario file.
+  {
+    util::json::Value doc;
+    bool parsed = false;
+    try {
+      doc = util::json::parse(read_file(args[0]));
+      parsed = true;
+    } catch (const std::exception&) {
+      // Not JSON at all: fall through so load_scenario_file reports it.
+    }
+    if (parsed && doc.is_object() && doc.find("base") != nullptr) {
+      const exp::TournamentSpec spec = exp::load_tournament_spec(args[0]);
+      const exp::ScenarioFile grid =
+          exp::parse_scenario_file(exp::tournament_scenarios_json(spec));
+      std::printf("%s: OK, tournament spec — %zu defense(s) x %zu strategy(s) = "
+                  "%zu cell(s)\n",
+                  args[0].c_str(), spec.defenses.size(), spec.strategies.size(),
+                  grid.scenarios.size());
+      if (!spec.description.empty()) {
+        std::printf("description: %s\n", spec.description.c_str());
+      }
+      for (const exp::LabeledScenario& s : grid.scenarios) {
+        std::printf("  [%zu] %s\n", s.index, s.label.c_str());
+      }
+      return 0;
+    }
+  }
   const exp::ScenarioFile file = exp::load_scenario_file(args[0]);
   std::printf("%s: OK, %zu scenario(s)\n", args[0].c_str(), file.scenarios.size());
   if (!file.description.empty()) std::printf("description: %s\n", file.description.c_str());
@@ -428,6 +564,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   try {
     if (cmd == "run") return cmd_run(args);
+    if (cmd == "tournament") return cmd_tournament(args);
     if (cmd == "dispatch") return cmd_dispatch(args, argv[0]);
     if (cmd == "worker") return cmd_worker(args);
     if (cmd == "merge") return cmd_merge(args);
