@@ -5,11 +5,16 @@
 // of the server's *time*. The quantum auction makes every quantum of
 // attention cost a fresh bid. Attackers here are "smart": difficulty-10
 // requests, bandwidth concentrated on one payment at a time.
+//
+// The grid lives in scenarios/abl4.json (difficulty × mechanism, labeled
+// "<defense>/d<difficulty>"); `speakup run` on that file reproduces these
+// numbers exactly.
 #include <iostream>
 #include <string>
 
 #include "bench/bench_common.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
 #include "stats/table.hpp"
 
 int main() {
@@ -21,29 +26,21 @@ int main() {
       "proportional time split (~0.5 here)");
 
   const int kDifficulties[] = {1, 5, 10};
-  const exp::DefenseMode kModes[] = {exp::DefenseMode::kAuction,
-                                     exp::DefenseMode::kQuantumAuction};
+  const char* const kMechanisms[] = {"auction", "quantum"};
 
+  exp::ScenarioFile file = bench::load_scenarios("abl4.json");
+  bench::apply_full_duration(file);
   exp::Runner runner;
-  for (const int difficulty : kDifficulties) {
-    for (const exp::DefenseMode mode : kModes) {
-      exp::ScenarioConfig cfg = exp::lan_scenario(10, 10, 20.0, mode, /*seed=*/34);
-      cfg.duration = bench::experiment_duration();
-      cfg.groups[1].workload.difficulty = difficulty;
-      cfg.groups[1].workload.window = 1;    // concentrate bandwidth
-      cfg.groups[1].workload.lambda = 10.0;
-      runner.add(cfg, std::string(to_string(mode)) + "/d" + std::to_string(difficulty));
-    }
-  }
+  file.queue_on(runner);
   bench::run_all(runner);
 
   stats::Table table({"bad-difficulty", "mechanism", "server-time-good", "server-time-bad",
                       "suspensions"});
   for (const int difficulty : kDifficulties) {
-    for (const exp::DefenseMode mode : kModes) {
+    for (const char* const mechanism : kMechanisms) {
       const exp::ExperimentResult& r =
-          runner.result(std::string(to_string(mode)) + "/d" + std::to_string(difficulty));
-      const bool quantum = mode == exp::DefenseMode::kQuantumAuction;
+          runner.result(std::string(mechanism) + "/d" + std::to_string(difficulty));
+      const bool quantum = std::string(mechanism) == "quantum";
       table.row()
           .add(difficulty)
           .add(quantum ? "quantum (5)" : "flat (3.3)")

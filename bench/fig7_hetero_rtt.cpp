@@ -4,35 +4,15 @@
 // Good clients with long RTTs get a smaller share (slow start + the 2-RTT
 // quiescence between POSTs); bad clients' RTTs matter little because they
 // keep many concurrent connections.
+//
+// Both scenarios live in scenarios/fig7.json ("all-good" / "all-bad");
+// `speakup run` on that file reproduces these numbers exactly.
 #include <iostream>
 
 #include "bench/bench_common.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_io.hpp"
 #include "stats/table.hpp"
-
-namespace {
-
-speakup::exp::ScenarioConfig scenario(bool bad) {
-  using namespace speakup;
-  exp::ScenarioConfig cfg;
-  cfg.mode = exp::DefenseMode::kAuction;
-  cfg.capacity_rps = 10.0;
-  cfg.seed = 26;
-  cfg.duration = bench::experiment_duration();
-  for (int i = 1; i <= 5; ++i) {
-    exp::ClientGroupSpec g;
-    g.label = (bad ? "bad-rtt" : "good-rtt") + std::to_string(100 * i);
-    g.count = 10;
-    g.workload = bad ? client::bad_client_params() : client::good_client_params();
-    // Path RTT = 2 * (client one-way + thinner one-way); thinner side is
-    // 0.5 ms, so aim the client link at (50*i - 0.5) ms.
-    g.access_delay = Duration::micros(50'000 * i - 500);
-    cfg.groups.push_back(g);
-  }
-  return cfg;
-}
-
-}  // namespace
 
 int main() {
   using namespace speakup;
@@ -41,8 +21,10 @@ int main() {
       "all-good: long-RTT categories fall below the 0.2 ideal (no category "
       "below ~half or above ~double); all-bad: allocation stays ~flat");
 
+  exp::ScenarioFile file = bench::load_scenarios("fig7.json");
+  bench::apply_full_duration(file);
   exp::Runner runner;
-  runner.add(scenario(false), "all-good").add(scenario(true), "all-bad");
+  file.queue_on(runner);
   bench::run_all(runner);
   const exp::ExperimentResult& good = runner.result("all-good");
   const exp::ExperimentResult& bad = runner.result("all-bad");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observer.hpp"
 #include "util/log.hpp"
 
 namespace speakup::client {
@@ -97,10 +98,12 @@ void WorkloadClient::on_message(PendingRequest& pr, const Message& m) {
       if (pr.payment != nullptr) break;  // already paying (or defected)
       if (!strategy_->pay(rng_, view())) {
         ++stats_.payments_declined;
+        if (auto* o = host_->loop().observer()) o->on_payment_declined(index());
         break;  // sit out the auction; the request rides on its timeout
       }
       pr.paying = true;
       pr.pay_started = host_->loop().now();
+      if (auto* o = host_->loop().observer()) o->on_payment_started(index());
       PaymentChannelClient::Config pc;
       pc.thinner = thinner_;
       pc.payment_port = params_.payment_port;
@@ -149,6 +152,7 @@ void WorkloadClient::abandon_payment(std::uint64_t id) {
   if (pr.payment == nullptr || pr.payment->stopped()) return;
   pr.payment->stop();  // §7.4 defection: the bid freezes mid-window
   ++stats_.payments_abandoned;
+  if (auto* o = host_->loop().observer()) o->on_payment_abandoned(index());
 }
 
 void WorkloadClient::pump_retries(PendingRequest& pr) {
@@ -171,15 +175,21 @@ void WorkloadClient::finish(std::uint64_t id, Disposition d) {
   const auto it = outstanding_.find(id);
   if (it == outstanding_.end()) return;
   PendingRequest& pr = *it->second;
+  int disposition = 0;
   switch (d) {
     case Disposition::kServed:
       break;  // counted by the caller
     case Disposition::kDenied:
       ++stats_.denied;
+      disposition = 1;
       break;
     case Disposition::kBusyRejected:
       ++stats_.busy_rejected;
+      disposition = 2;
       break;
+  }
+  if (auto* o = host_->loop().observer()) {
+    o->on_request_finish(index(), pr.sent, disposition, pr.paying, pr.pay_started);
   }
   if (pr.payment != nullptr) {
     stats_.payment_bytes_acked += pr.payment->bytes_acked();

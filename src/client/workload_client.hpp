@@ -134,6 +134,10 @@ class WorkloadClient {
   void abandon_payment(std::uint64_t id);
   void pump_retries(PendingRequest& pr);
   void finish(std::uint64_t id, Disposition d);
+  /// The client_index this client was constructed with (trace track id).
+  [[nodiscard]] std::uint32_t index() const {
+    return static_cast<std::uint32_t>((id_base_ >> 32) - 1);
+  }
   void purge_backlog();
   void drain_backlog();
 

@@ -1,6 +1,14 @@
 #include "core/auction_thinner.hpp"
 
+#include "obs/observer.hpp"
 #include "util/log.hpp"
+
+namespace {
+// obs::Cls mirrors http::ClientClass value for value.
+speakup::obs::Cls obs_cls(speakup::http::ClientClass c) {
+  return static_cast<speakup::obs::Cls>(c);
+}
+}  // namespace
 
 namespace speakup::core {
 
@@ -166,6 +174,9 @@ void AuctionThinner::admit(RequestState& st) {
     ++stats_.served_other;
   }
   if (!st.started_paying) ++stats_.direct_admissions;
+  if (auto* o = host_->loop().observer()) {
+    o->on_admission(obs_cls(st.cls), price, /*direct=*/!st.started_paying);
+  }
   if (st.payment_session != nullptr) {
     // Terminate the payment channel (§3.3): the client stops paying.
     st.payment_session->send(
@@ -188,6 +199,9 @@ void AuctionThinner::run_auction() {
   }
   if (best != nullptr) {
     ++stats_.auctions_held;
+    if (auto* o = host_->loop().observer()) {
+      o->on_auction_clear(static_cast<double>(best->paid));
+    }
     admit(*best);
   }
 }
@@ -216,6 +230,9 @@ void AuctionThinner::expire(std::uint64_t id) {
   SPEAKUP_ASSERT(!st.serving);
   ++stats_.channels_expired;
   stats_.payment_bytes_wasted += st.paid;
+  if (auto* o = host_->loop().observer()) {
+    o->on_channel_expired(static_cast<double>(st.paid));
+  }
   destroy_state(id, /*abort_sessions=*/true);
 }
 

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "obs/observer.hpp"
 #include "util/assert.hpp"
+
+namespace {
+// obs::Cls mirrors http::ClientClass value for value.
+speakup::obs::Cls obs_cls(speakup::http::ClientClass c) {
+  return static_cast<speakup::obs::Cls>(c);
+}
+}  // namespace
 
 namespace speakup::core {
 
@@ -40,6 +48,7 @@ void ElasticFrontEnd::on_monitor_tick() {
     scale_ = std::min(scale_ * 2.0, cfg_.max_scale);
     server_.set_capacity_rps(cfg_.capacity_rps * scale_);
     stats_.counters.inc("elastic_scale_ups");
+    if (auto* o = host_->loop().observer()) o->on_elastic_scale(scale_);
   }
   host_->loop().schedule(cfg_.interval, [this] { on_monitor_tick(); });
 }
@@ -57,8 +66,12 @@ void ElasticFrontEnd::on_message(MessageStream& s, const Message& m) {
   ++stats_.requests_received;
   if (server_.busy()) {
     ++stats_.busy_rejections;
+    if (auto* o = host_->loop().observer()) o->on_rejection();
     s.send(Message{.type = MessageType::kBusy, .request_id = m.request_id});
     return;
+  }
+  if (auto* o = host_->loop().observer()) {
+    o->on_admission(obs_cls(m.cls), 0.0, /*direct=*/true);
   }
   if (m.cls == ClientClass::kGood) {
     ++stats_.served_good;

@@ -1,5 +1,14 @@
 #include "core/no_defense.hpp"
 
+#include "obs/observer.hpp"
+
+namespace {
+// obs::Cls mirrors http::ClientClass value for value.
+speakup::obs::Cls obs_cls(speakup::http::ClientClass c) {
+  return static_cast<speakup::obs::Cls>(c);
+}
+}  // namespace
+
 namespace speakup::core {
 
 using http::ClientClass;
@@ -30,8 +39,12 @@ void NoDefenseFrontEnd::on_message(MessageStream& s, const Message& m) {
   ++stats_.requests_received;
   if (server_.busy()) {
     ++stats_.busy_rejections;
+    if (auto* o = host_->loop().observer()) o->on_rejection();
     s.send(Message{.type = MessageType::kBusy, .request_id = m.request_id});
     return;
+  }
+  if (auto* o = host_->loop().observer()) {
+    o->on_admission(obs_cls(m.cls), 0.0, /*direct=*/true);
   }
   if (m.cls == ClientClass::kGood) {
     ++stats_.served_good;

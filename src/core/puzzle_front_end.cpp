@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "obs/observer.hpp"
 #include "util/assert.hpp"
+
+namespace {
+// obs::Cls mirrors http::ClientClass value for value.
+speakup::obs::Cls obs_cls(speakup::http::ClientClass c) {
+  return static_cast<speakup::obs::Cls>(c);
+}
+}  // namespace
 
 namespace speakup::core {
 
@@ -48,6 +56,9 @@ void PuzzleFrontEnd::on_message(MessageStream& s, const Message& m) {
     // Idle server, no solved work queued: admit at price 0, like the
     // auction's direct admissions.
     ++stats_.direct_admissions;
+    if (auto* o = host_->loop().observer()) {
+      o->on_admission(obs_cls(m.cls), 0.0, /*direct=*/true);
+    }
     count_served(m.cls);
     requests_[m.request_id] =
         Tracked{m.request_id, m.cls, m.difficulty, &s, State::kServing, now, now};
@@ -77,6 +88,7 @@ void PuzzleFrontEnd::on_solved(std::uint64_t id) {
   it->second.state = State::kReady;
   ready_.insert({it->second.solve_done.ns(), id});
   stats_.counters.inc("puzzle_solved");
+  if (auto* o = host_->loop().observer()) o->on_puzzle_solved();
   if (!server_.busy()) admit_next();
 }
 
@@ -92,6 +104,11 @@ void PuzzleFrontEnd::admit_next() {
   // The "payment" here is compute: record the request's wait from arrival
   // to admission in the payment-time samples the other currencies use.
   const double waited = (host_->loop().now() - t.arrived).sec();
+  if (auto* o = host_->loop().observer()) {
+    // The puzzle "price" is compute time; record the wait as the price.
+    o->on_admission(obs_cls(t.cls), waited, /*direct=*/false);
+    o->on_puzzle_admitted(waited);
+  }
   if (t.cls == ClientClass::kGood) {
     stats_.payment_time_good.add(waited);
   } else if (t.cls == ClientClass::kBad) {

@@ -1,5 +1,14 @@
 #include "core/quantum_thinner.hpp"
 
+#include "obs/observer.hpp"
+
+namespace {
+// obs::Cls mirrors http::ClientClass value for value.
+speakup::obs::Cls obs_cls(speakup::http::ClientClass c) {
+  return static_cast<speakup::obs::Cls>(c);
+}
+}  // namespace
+
 namespace speakup::core {
 
 using http::ClientClass;
@@ -157,6 +166,15 @@ void QuantumAuctionThinner::give_server_to(RequestState& st) {
   SPEAKUP_ASSERT(!server_.busy());
   SPEAKUP_ASSERT(st.has_request && !st.active);
   st.expiry->cancel();
+  if (auto* o = host_->loop().observer()) {
+    // A fresh grant is the admission (price = the bid being zeroed); a
+    // resume after suspension is not a new admission.
+    if (!st.suspended) {
+      o->on_admission(obs_cls(st.cls), static_cast<double>(st.paid),
+                      /*direct=*/!st.started_paying);
+    }
+    o->on_auction_clear(static_cast<double>(st.paid));
+  }
   st.paid = 0;  // §5 step 2: "set u's payment to zero"
   st.active = true;
   if (st.suspended) {
@@ -182,6 +200,7 @@ void QuantumAuctionThinner::quantum_tick() {
     v->suspended = true;
     v->suspended_at = host_->loop().now();
     stats_.counters.inc("suspensions");
+    if (auto* o = host_->loop().observer()) o->on_quantum_suspension();
     give_server_to(*u);
   } else {
     // §5 step 3: v continues but has not yet paid for the next quantum.
@@ -243,6 +262,7 @@ void QuantumAuctionThinner::abort_request(std::uint64_t id) {
   }
   if (st.suspended) server_.abort_suspended(id);
   stats_.counters.inc("aborts");
+  if (auto* o = host_->loop().observer()) o->on_abort();
   // If the client is still there, kAborted tells it to stop paying and it
   // closes both channels itself; aborting here would kill the unsent
   // notification. If the client already abandoned the request, force-close.
@@ -263,6 +283,9 @@ void QuantumAuctionThinner::expire(std::uint64_t id) {
   if (st.active || st.suspended) return;  // admitted at least once; step 4 governs
   ++stats_.channels_expired;
   stats_.payment_bytes_wasted += st.paid;
+  if (auto* o = host_->loop().observer()) {
+    o->on_channel_expired(static_cast<double>(st.paid));
+  }
   destroy_state(id, /*abort_sessions=*/true);
 }
 

@@ -1,5 +1,14 @@
 #include "core/retry_thinner.hpp"
 
+#include "obs/observer.hpp"
+
+namespace {
+// obs::Cls mirrors http::ClientClass value for value.
+speakup::obs::Cls obs_cls(speakup::http::ClientClass c) {
+  return static_cast<speakup::obs::Cls>(c);
+}
+}  // namespace
+
 namespace speakup::core {
 
 using http::ClientClass;
@@ -44,6 +53,7 @@ void RetryThinner::on_message(MessageStream& s, const Message& m) {
   if (!server_.busy()) {
     admit(st);
   } else {
+    if (auto* o = host_->loop().observer()) o->on_rejection();
     // The synchronous please-retry signal. Clients do not actually wait
     // for it (they pipeline), but it keeps the window full.
     s.send(Message{.type = MessageType::kRetry, .request_id = st.id});
@@ -53,6 +63,9 @@ void RetryThinner::on_message(MessageStream& s, const Message& m) {
 void RetryThinner::admit(RequestState& st) {
   st.serving = true;
   const auto price = static_cast<double>(st.retries);
+  if (auto* o = host_->loop().observer()) {
+    o->on_admission(obs_cls(st.cls), price, /*direct=*/st.retries <= 1);
+  }
   if (st.cls == ClientClass::kGood) {
     ++stats_.served_good;
     stats_.retries_good.add(price);

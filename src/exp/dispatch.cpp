@@ -30,6 +30,7 @@
 #include "exp/scenario_io.hpp"
 #include "exp/work_queue.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 
 namespace speakup::exp {
 
@@ -265,6 +266,12 @@ struct WorkerProc {
   bool exiting = false;  // `exit` sent; EOF is expected, not a death
   int slice = -1;
   Clock::time_point last_seen;
+  // Throughput tracking for the per-worker `metrics` status events: the
+  // event/row counts at the last emitted metrics event, and when that was.
+  std::uint64_t metric_events = 0;
+  std::size_t metric_rows = 0;
+  Clock::time_point metric_at;
+  bool metric_primed = false;
 };
 
 class Dispatcher {
@@ -282,6 +289,8 @@ class Dispatcher {
   void ensure_workers();
   void pump_assignments();
   void handle_line(WorkerProc& w, const std::string& line);
+  void worker_metrics(WorkerProc& w, int slice, std::size_t rows_done,
+                      std::size_t rows, std::uint64_t events);
   void worker_gone(WorkerProc& w, const std::string& reason);
   void kill_worker(WorkerProc& w, const std::string& reason);
   void requeue_slice(WorkerProc& w, const std::string& reason);
@@ -504,8 +513,8 @@ void Dispatcher::spawn_worker() {
     const std::string hb = std::to_string(opts_.heartbeat_ms);
     ::execl(opts_.exe.c_str(), opts_.exe.c_str(), "worker", opts_.scenario_path.c_str(),
             work_dir_.c_str(), hb.c_str(), static_cast<char*>(nullptr));
-    std::fprintf(stderr, "dispatch: exec '%s' failed: %s\n", opts_.exe.c_str(),
-                 std::strerror(errno));
+    SPEAKUP_LOG_ERROR("dispatch: exec '%s' failed: %s", opts_.exe.c_str(),
+                      std::strerror(errno));
     ::_exit(127);
   }
   ::close(to_pipe[0]);
@@ -549,6 +558,8 @@ void Dispatcher::pump_assignments() {
                             std::to_string(slice_count_) + "\n";
     w.slice = slice;
     w.last_seen = Clock::now();  // the heartbeat clock starts at assignment
+    w.metric_primed = false;     // per-slice event counts restart at zero
+    SPEAKUP_LOG_DEBUG("dispatch: slice %d -> worker %d", slice, w.id);
     if (::write(w.to_fd, cmd.data(), cmd.size()) != static_cast<ssize_t>(cmd.size())) {
       // The worker died between spawn and first assignment.
       worker_gone(w, "worker pipe closed");
@@ -570,7 +581,10 @@ void Dispatcher::handle_line(WorkerProc& w, const std::string& line) {
     std::size_t rows_done = 0, rows = 0;
     std::uint64_t events = 0;
     in >> slice >> rows_done >> rows >> events;
-    if (slice == w.slice && slice >= 0) queue_->heartbeat(slice, rows_done, events);
+    if (slice == w.slice && slice >= 0) {
+      queue_->heartbeat(slice, rows_done, events);
+      worker_metrics(w, slice, rows_done, rows, events);
+    }
   } else if (kind == "done") {
     int slice = -1;
     std::size_t rows = 0;
@@ -619,7 +633,46 @@ void Dispatcher::handle_line(WorkerProc& w, const std::string& line) {
     }
     // `fail -1 ...` is a worker-level defect; it exits right after, and the
     // EOF path accounts for it.
+  } else {
+    SPEAKUP_LOG_DEBUG("dispatch: worker %d sent unrecognized line '%s'", w.id,
+                      line.c_str());
   }
+}
+
+// Per-worker throughput events for --status json consumers: every heartbeat
+// carries the worker's cumulative sim-event count, so the dispatcher can
+// report each worker's live rate, not just its liveness. Rate-limited to
+// one event per worker per second; only the JSON view emits them (the tty
+// progress line already shows per-worker rows, and plain mode stays quiet).
+void Dispatcher::worker_metrics(WorkerProc& w, int slice, std::size_t rows_done,
+                                std::size_t rows, std::uint64_t events) {
+  if (view() != View::kJson) return;
+  const Clock::time_point now = Clock::now();
+  if (!w.metric_primed) {
+    // First heartbeat on this slice: prime the baseline, nothing to rate yet.
+    w.metric_primed = true;
+    w.metric_events = events;
+    w.metric_rows = rows_done;
+    w.metric_at = now;
+    return;
+  }
+  const double secs = std::chrono::duration<double>(now - w.metric_at).count();
+  if (secs < 1.0) return;
+  json::Value ev;
+  ev.set("type", "metrics");
+  ev.set("worker", w.id);
+  ev.set("slice", slice);
+  ev.set("rows_done", static_cast<double>(rows_done));
+  ev.set("rows", static_cast<double>(rows));
+  ev.set("events", static_cast<double>(events));
+  ev.set("events_per_s",
+         static_cast<double>(events - w.metric_events) / secs);
+  ev.set("rows_per_s",
+         static_cast<double>(rows_done - w.metric_rows) / secs);
+  event("", std::move(ev));  // json-only: plain text unused
+  w.metric_events = events;
+  w.metric_rows = rows_done;
+  w.metric_at = now;
 }
 
 void Dispatcher::requeue_slice(WorkerProc& w, const std::string& reason) {
@@ -687,6 +740,8 @@ void Dispatcher::worker_gone(WorkerProc& w, const std::string& reason) {
 }
 
 void Dispatcher::kill_worker(WorkerProc& w, const std::string& reason) {
+  SPEAKUP_LOG_DEBUG("dispatch: killing worker %d (pid %d): %s", w.id,
+                    static_cast<int>(w.pid), reason.c_str());
   ::kill(w.pid, SIGKILL);
   worker_gone(w, reason);
 }

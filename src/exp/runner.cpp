@@ -46,8 +46,23 @@ Runner& Runner::sweep_good_fraction(int total_clients, const std::vector<int>& g
   return *this;
 }
 
+Runner& Runner::set_observability(const obs::Observer::Options& opts) {
+  util::require(!ran_, "Runner: set_observability before run_all");
+  obs_opts_ = opts;
+  obs_enabled_ = opts.metrics || opts.trace;
+  return *this;
+}
+
+Runner& Runner::set_telemetry_indices(std::vector<std::size_t> indices) {
+  util::require(!ran_, "Runner: set_telemetry_indices before run_all");
+  telemetry_indices_ = std::move(indices);
+  return *this;
+}
+
 const std::vector<RunOutcome>& Runner::run_all(int n_threads) {
   util::require(!ran_, "Runner::run_all is callable once");
+  util::require(telemetry_indices_.empty() || telemetry_indices_.size() == jobs_.size(),
+                "Runner: telemetry indices must cover every job");
   ran_ = true;
   if (n_threads <= 0) {
     n_threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -67,7 +82,27 @@ const std::vector<RunOutcome>& Runner::run_all(int n_threads) {
       out.label = jobs_[i].label;
       out.config = jobs_[i].config;
       try {
-        out.result = run_scenario(jobs_[i].config);
+        if (obs_enabled_) {
+          const std::size_t ext =
+              telemetry_indices_.empty() ? i : telemetry_indices_[i];
+          Experiment e(jobs_[i].config);
+          obs::Observer ob(e.loop(), obs_opts_);
+          out.result = e.run();
+          ob.finish();
+          if (ob.metrics_enabled()) {
+            out.telemetry.metrics_json = ob.metrics().summary_json().dump();
+            ob.metrics().append_timeseries_csv(
+                out.telemetry.timeseries_csv,
+                std::to_string(ext) + ',' + out.label + ',');
+          }
+          if (ob.trace_enabled()) {
+            bool first = true;
+            ob.tracer().append_chrome_events(out.telemetry.trace_json,
+                                             static_cast<int>(ext), first);
+          }
+        } else {
+          out.result = run_scenario(jobs_[i].config);
+        }
       } catch (const std::exception& e) {
         out.error = e.what();
       } catch (...) {

@@ -16,14 +16,27 @@
 
 #include "exp/experiment.hpp"
 #include "exp/scenario.hpp"
+#include "obs/observer.hpp"
 #include "stats/table.hpp"
 
 namespace speakup::exp {
+
+/// Per-run observability output, rendered inside the worker so assembly by
+/// the caller is pure string concatenation in job-index order (and thus
+/// deterministic across thread counts). All fields empty when
+/// observability is off.
+struct RunTelemetry {
+  std::string metrics_json;    // this run's metrics summary (one JSON object)
+  std::string timeseries_csv;  // "index,label,metric,time_s,value" rows, no header
+  std::string trace_json;      // Chrome trace event objects, comma-separated,
+                               // pid = this run's job index
+};
 
 struct RunOutcome {
   std::string label;
   ScenarioConfig config;
   ExperimentResult result;
+  RunTelemetry telemetry;
   std::string error;  // non-empty when the scenario threw
   [[nodiscard]] bool ok() const { return error.empty(); }
 };
@@ -53,6 +66,18 @@ class Runner {
 
   [[nodiscard]] std::size_t size() const { return jobs_.size(); }
 
+  /// Attaches an obs::Observer with these options to every run; each
+  /// outcome's `telemetry` then carries that run's rendered output.
+  /// Scenario results — including fingerprints — are identical with or
+  /// without observability (the probes only read, and sampling adds no
+  /// events). Call before run_all.
+  Runner& set_observability(const obs::Observer::Options& opts);
+
+  /// External indices stamped into telemetry output (trace pid, timeseries
+  /// rows) — e.g. global scenario indices when running a shard. Defaults to
+  /// the job position. Size must equal size() when run_all is called.
+  Runner& set_telemetry_indices(std::vector<std::size_t> indices);
+
   /// Runs every queued scenario and returns the outcomes in insertion
   /// order. `n_threads` <= 0 means hardware concurrency. Callable once.
   const std::vector<RunOutcome>& run_all(int n_threads = 0);
@@ -75,6 +100,9 @@ class Runner {
 
   std::vector<Job> jobs_;
   std::vector<RunOutcome> outcomes_;
+  obs::Observer::Options obs_opts_{};
+  std::vector<std::size_t> telemetry_indices_;
+  bool obs_enabled_ = false;
   bool ran_ = false;
 };
 

@@ -300,6 +300,9 @@ PayoffMatrix score_tournament(const TournamentSpec& spec,
   const std::size_t c_bytes = column_of(header, "attacker_bytes");
   const std::size_t c_fp = column_of(header, "fingerprint");
   const std::size_t c_error = column_of(header, "error");
+  const std::size_t c_served = column_of(header, "served_total");
+  const std::size_t c_events = column_of(header, "events_executed");
+  const std::size_t c_busy = column_of(header, "server_busy_fraction");
 
   std::vector<PayoffCell> cells(n_cells);
   std::vector<bool> seen(n_cells, false);
@@ -341,6 +344,10 @@ PayoffMatrix score_tournament(const TournamentSpec& spec,
     cell.good_fraction = parse_double(fields[c_good], "fraction_good_served");
     cell.attacker_bytes = parse_int(fields[c_bytes], "attacker_bytes");
     cell.fingerprint = fields[c_fp];
+    cell.served_total = parse_int(fields[c_served], "served_total");
+    cell.events_executed = parse_int(fields[c_events], "events_executed");
+    cell.server_busy_fraction =
+        parse_double(fields[c_busy], "server_busy_fraction");
   }
   for (std::size_t i = 0; i < n_cells; ++i) {
     if (!seen[i]) {
@@ -383,6 +390,11 @@ std::string payoff_json(const PayoffMatrix& m) {
     cv.set("fraction_good_served", c.good_fraction);
     cv.set("attacker_bytes", static_cast<double>(c.attacker_bytes));
     cv.set("fingerprint", c.fingerprint);
+    json::Value metrics{json::Value::Object{}};
+    metrics.set("served_total", static_cast<double>(c.served_total));
+    metrics.set("events_executed", static_cast<double>(c.events_executed));
+    metrics.set("server_busy_fraction", c.server_busy_fraction);
+    cv.set("metrics", std::move(metrics));
     cells.push_back(std::move(cv));
   }
   doc.set("cells", std::move(cells));

@@ -49,6 +49,12 @@ struct PayoffCell {
   double good_fraction = 0.0;    // defender payoff: fraction_good_served
   std::int64_t attacker_bytes = 0;  // attacker cost at the front end
   std::string fingerprint;       // the run's determinism digest (hex)
+  // Run metrics carried into payoff.json's per-cell "metrics" object. All
+  // parsed from the sweep CSV, so every scoring path (in-process, --score,
+  // dispatch) produces identical matrices by construction.
+  std::int64_t served_total = 0;
+  std::int64_t events_executed = 0;
+  double server_busy_fraction = 0.0;
 };
 
 struct PayoffMatrix {

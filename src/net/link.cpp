@@ -1,6 +1,7 @@
 #include "net/link.hpp"
 
 #include "net/network.hpp"
+#include "obs/observer.hpp"
 
 namespace speakup::net {
 
@@ -14,7 +15,15 @@ void Link::send(NodeId from, Packet p) {
   SPEAKUP_ASSERT(from == a_ || from == b_);
   Direction& d = dir_for(from);
   if (d.transmitting) {
-    d.queue.push(std::move(p));  // dropped silently on overflow (drop-tail)
+    const Bytes wire = p.wire_size;
+    const bool accepted = d.queue.push(std::move(p));  // drop-tail on overflow
+    if (auto* o = net_->loop().observer()) {
+      if (accepted) {
+        o->on_link_enqueue(wire);
+      } else {
+        o->on_link_drop(wire);
+      }
+    }
     return;
   }
   // Transmitter idle: serialize immediately without passing through the queue.
@@ -36,6 +45,7 @@ void Link::on_serialized(std::uint32_t slot) {
   // ...and the transmitter picks up the next queued packet. (This may grow
   // the pool; `d` is a Link member, so the reference stays valid.)
   if (auto next = d.queue.pop()) {
+    if (auto* o = net_->loop().observer()) o->on_link_dequeue(next->wire_size);
     transmit(d, std::move(*next));
   } else {
     d.transmitting = false;

@@ -1,0 +1,137 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace speakup::obs {
+
+namespace json = util::json;
+
+void MetricsRegistry::require_unique(const std::string& name) const {
+  for (const Counter& c : counters_) {
+    if (c.name == name) {
+      throw std::invalid_argument("MetricsRegistry: duplicate metric '" + name + "'");
+    }
+  }
+  for (const Gauge& g : gauges_) {
+    if (g.name == name) {
+      throw std::invalid_argument("MetricsRegistry: duplicate metric '" + name + "'");
+    }
+  }
+  for (const Histogram& h : histograms_) {
+    if (h.name == name) {
+      throw std::invalid_argument("MetricsRegistry: duplicate metric '" + name + "'");
+    }
+  }
+}
+
+MetricId MetricsRegistry::add_counter(std::string name) {
+  require_unique(name);
+  util::require(samples_taken_ == 0, "MetricsRegistry: register before sampling starts");
+  counters_.push_back(Counter{std::move(name), 0, 0});
+  if (sampling_enabled()) {
+    counter_series_.emplace_back(counters_.back().name, sample_interval_);
+  }
+  return static_cast<MetricId>(counters_.size() - 1);
+}
+
+MetricId MetricsRegistry::add_gauge(std::string name, std::function<double()> poll) {
+  require_unique(name);
+  util::require(samples_taken_ == 0, "MetricsRegistry: register before sampling starts");
+  util::require(static_cast<bool>(poll), "MetricsRegistry: gauge needs a poll function");
+  gauges_.push_back(Gauge{std::move(name), std::move(poll)});
+  if (sampling_enabled()) {
+    gauge_series_.emplace_back(gauges_.back().name, sample_interval_);
+  }
+  return static_cast<MetricId>(gauges_.size() - 1);
+}
+
+MetricId MetricsRegistry::add_histogram(std::string name) {
+  require_unique(name);
+  histograms_.push_back(Histogram{});
+  histograms_.back().name = std::move(name);
+  return static_cast<MetricId>(histograms_.size() - 1);
+}
+
+void MetricsRegistry::enable_sampling(Duration interval) {
+  util::require(interval > Duration::zero(), "sample interval must be positive");
+  util::require(samples_taken_ == 0, "MetricsRegistry: enable sampling before the run");
+  sample_interval_ = interval;
+  counter_series_.clear();
+  gauge_series_.clear();
+  for (const Counter& c : counters_) counter_series_.emplace_back(c.name, interval);
+  for (const Gauge& g : gauges_) gauge_series_.emplace_back(g.name, interval);
+}
+
+void MetricsRegistry::sample(SimTime now) {
+  SPEAKUP_ASSERT(sampling_enabled());
+  ++samples_taken_;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    Counter& c = counters_[i];
+    counter_series_[i].points.add(now, static_cast<double>(c.value - c.last_sampled));
+    c.last_sampled = c.value;
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    gauge_series_[i].points.add(now, gauges_[i].poll());
+  }
+}
+
+util::json::Value MetricsRegistry::summary_json() const {
+  json::Value out{json::Value::Object{}};
+  for (const Counter& c : counters_) {
+    json::Value m{json::Value::Object{}};
+    m.set("type", "counter");
+    m.set("value", static_cast<double>(c.value));
+    out.set(c.name, std::move(m));
+  }
+  for (const Gauge& g : gauges_) {
+    json::Value m{json::Value::Object{}};
+    m.set("type", "gauge");
+    m.set("value", g.poll());
+    out.set(g.name, std::move(m));
+  }
+  for (const Histogram& h : histograms_) {
+    json::Value m{json::Value::Object{}};
+    m.set("type", "histogram");
+    m.set("count", static_cast<double>(h.count));
+    m.set("sum", h.sum);
+    if (h.count > 0) {
+      m.set("min", h.min);
+      m.set("max", h.max);
+      m.set("mean", h.sum / static_cast<double>(h.count));
+    }
+    json::Value buckets{json::Value::Array{}};
+    // Trailing all-zero buckets are elided; bucket i counts values in
+    // [2^(i-1), 2^i).
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (h.buckets[i] != 0) last = i + 1;
+    }
+    for (std::size_t i = 0; i < last; ++i) {
+      buckets.push_back(static_cast<double>(h.buckets[i]));
+    }
+    m.set("buckets_pow2", std::move(buckets));
+    out.set(h.name, std::move(m));
+  }
+  return out;
+}
+
+void MetricsRegistry::append_timeseries_csv(std::string& out,
+                                            const std::string& prefix) const {
+  const auto append_series = [&](const Series& s) {
+    for (std::size_t b = 0; b < s.points.bucket_count(); ++b) {
+      out += prefix;
+      out += s.name;
+      out += ',';
+      out += json::number_to_string(static_cast<double>(b) * s.points.bucket_width().sec());
+      out += ',';
+      out += json::number_to_string(s.points.bucket_sum(b));
+      out += '\n';
+    }
+  };
+  for (const Series& s : counter_series_) append_series(s);
+  for (const Series& s : gauge_series_) append_series(s);
+}
+
+}  // namespace speakup::obs

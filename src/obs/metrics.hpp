@@ -1,0 +1,140 @@
+// Live metrics: named counters, polled gauges, and log-bucketed histograms
+// with allocation-free hot-path updates, plus interval sampling into
+// stats::TimeSeries for the per-run timeseries.csv.
+//
+// Registration (naming a metric) happens once, at setup, and may allocate;
+// every hot-path operation afterwards — inc(), observe() — is an index into
+// a preallocated vector and touches no allocator, no map, no string. The
+// registry is sampled on a sim-time interval (obs::Observer drives this via
+// the event loop's sample hook, which adds *no events* to the simulation —
+// see sim/event_loop.hpp): counters record their delta since the previous
+// sample, gauges record their polled value.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/time_series.hpp"
+#include "util/json.hpp"
+#include "util/units.hpp"
+
+namespace speakup::obs {
+
+using MetricId = std::uint32_t;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- registration (setup path; allocates) --------------------------------
+
+  /// Monotonic event count. Returns the id used for inc().
+  MetricId add_counter(std::string name);
+
+  /// Value polled at each sample (queue depths, heap sizes, scale levels).
+  /// `poll` is invoked only from sample() and json export, never on the
+  /// hot path.
+  MetricId add_gauge(std::string name, std::function<double()> poll);
+
+  /// Distribution summary: count/sum/min/max plus power-of-two value
+  /// buckets (bucket i counts values in [2^(i-1), 2^i)).
+  MetricId add_histogram(std::string name);
+
+  // --- hot path (allocation-free) ------------------------------------------
+
+  void inc(MetricId id, std::int64_t delta = 1) { counters_[id].value += delta; }
+
+  void observe(MetricId id, double v) {
+    Histogram& h = histograms_[id];
+    ++h.count;
+    h.sum += v;
+    if (h.count == 1 || v < h.min) h.min = v;
+    if (h.count == 1 || v > h.max) h.max = v;
+    ++h.buckets[bucket_of(v)];
+  }
+
+  [[nodiscard]] std::int64_t counter_value(MetricId id) const {
+    return counters_[id].value;
+  }
+
+  // --- sampling -------------------------------------------------------------
+
+  /// Arms interval sampling: each sample() call appends one point per
+  /// counter (the delta since the last sample) and per gauge (the polled
+  /// value) to that metric's TimeSeries. Must be called before sample().
+  void enable_sampling(Duration interval);
+
+  [[nodiscard]] bool sampling_enabled() const { return sample_interval_ > Duration::zero(); }
+  [[nodiscard]] Duration sample_interval() const { return sample_interval_; }
+
+  /// Records one sample at sim time `now`.
+  void sample(SimTime now);
+
+  // --- export ---------------------------------------------------------------
+
+  /// End-of-run summary: {"<name>": {"type": "counter", "value": N} |
+  /// {"type": "gauge", "value": V} | {"type": "histogram", "count": ...}}.
+  [[nodiscard]] util::json::Value summary_json() const;
+
+  /// Appends sampled points as CSV rows "<prefix><metric>,<time_s>,<value>"
+  /// (no header), metrics in registration order, buckets in time order.
+  /// Empty buckets are skipped for counters that never moved but written as
+  /// 0 for buckets inside the sampled range, so rows are deterministic.
+  void append_timeseries_csv(std::string& out, const std::string& prefix) const;
+
+ private:
+  struct Counter {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t last_sampled = 0;  // value at the previous sample()
+  };
+  struct Gauge {
+    std::string name;
+    std::function<double()> poll;
+  };
+  static constexpr std::size_t kBuckets = 64;
+  struct Histogram {
+    std::string name;
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::int64_t, kBuckets> buckets{};
+  };
+  struct Series {
+    std::string name;                  // the sampled metric's name
+    stats::TimeSeries points;          // one bucket per sample interval
+    explicit Series(std::string n, Duration width)
+        : name(std::move(n)), points(width) {}
+  };
+
+  /// Power-of-two bucket index for v (v <= 0 -> 0).
+  [[nodiscard]] static std::size_t bucket_of(double v) {
+    if (v < 1.0) return 0;
+    std::size_t b = 0;
+    auto u = static_cast<std::uint64_t>(v);
+    while (u > 0 && b + 1 < kBuckets) {
+      u >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  void require_unique(const std::string& name) const;
+
+  std::vector<Counter> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<Histogram> histograms_;
+  Duration sample_interval_ = Duration::zero();
+  std::vector<Series> counter_series_;  // parallel to counters_
+  std::vector<Series> gauge_series_;    // parallel to gauges_
+  std::size_t samples_taken_ = 0;
+};
+
+}  // namespace speakup::obs

@@ -1,0 +1,94 @@
+#include "obs/observer.hpp"
+
+namespace speakup::obs {
+
+Observer::Observer(sim::EventLoop& loop, const Options& opts)
+    : loop_(&loop), opts_(opts), tracer_(opts.trace_capacity) {
+  if (opts_.metrics) {
+    register_catalog();
+    metrics_.enable_sampling(opts_.sample_interval);
+    next_sample_ns_ = opts_.sample_interval.ns();
+    loop_->set_sample_hook(&Observer::sample_hook, this, next_sample_ns_);
+  }
+  loop_->set_observer(this);
+}
+
+Observer::~Observer() {
+  loop_->set_observer(nullptr);
+  loop_->clear_sample_hook();
+}
+
+std::int64_t Observer::sample_hook(void* ctx, std::int64_t now_ns) {
+  auto* self = static_cast<Observer*>(ctx);
+  const std::int64_t step = self->opts_.sample_interval.ns();
+  // The hook fires on the first event at or past the boundary, so sampling
+  // at the boundary time captures state as of the boundary: every earlier
+  // event has run, no later one has. Catch up over idle stretches that
+  // skipped several boundaries.
+  while (self->next_sample_ns_ <= now_ns) {
+    self->metrics_.sample(SimTime::from_ns(self->next_sample_ns_));
+    self->next_sample_ns_ += step;
+  }
+  return self->next_sample_ns_;
+}
+
+void Observer::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (opts_.metrics) {
+    // Close out the final partial interval (run_until advances the clock to
+    // the horizon without firing the hook). Skip when the last boundary
+    // sampled coincides with now — no time has elapsed since.
+    const std::int64_t step = opts_.sample_interval.ns();
+    if (loop_->now().ns() > next_sample_ns_ - step) {
+      metrics_.sample(loop_->now());
+    }
+  }
+  loop_->clear_sample_hook();
+}
+
+void Observer::register_catalog() {
+  c_link_enqueued_ = metrics_.add_counter("net.link_enqueues");
+  c_link_drops_ = metrics_.add_counter("net.link_drops");
+  c_tcp_retransmits_ = metrics_.add_counter("tcp.retransmits");
+  c_tcp_rto_backoffs_ = metrics_.add_counter("tcp.rto_backoffs");
+  c_admitted_good_ = metrics_.add_counter("core.admitted_good");
+  c_admitted_bad_ = metrics_.add_counter("core.admitted_bad");
+  c_admitted_other_ = metrics_.add_counter("core.admitted_other");
+  c_admitted_direct_ = metrics_.add_counter("core.admitted_direct");
+  c_rejections_ = metrics_.add_counter("core.rejections");
+  c_auctions_ = metrics_.add_counter("core.auctions");
+  c_expirations_ = metrics_.add_counter("core.channels_expired");
+  c_suspensions_ = metrics_.add_counter("core.suspensions");
+  c_aborts_ = metrics_.add_counter("core.aborts");
+  c_elastic_scale_ups_ = metrics_.add_counter("core.elastic_scale_ups");
+  c_puzzles_admitted_ = metrics_.add_counter("core.puzzles_admitted");
+  c_puzzles_solved_ = metrics_.add_counter("core.puzzles_solved");
+  c_payments_started_ = metrics_.add_counter("client.payments_started");
+  c_payments_declined_ = metrics_.add_counter("client.payments_declined");
+  c_defections_ = metrics_.add_counter("client.defections");
+  c_requests_served_ = metrics_.add_counter("client.requests_served");
+  c_requests_denied_ = metrics_.add_counter("client.requests_denied");
+  c_requests_busy_ = metrics_.add_counter("client.requests_busy_rejected");
+
+  h_tcp_cwnd_ = metrics_.add_histogram("tcp.cwnd_at_retransmit");
+  h_admission_price_ = metrics_.add_histogram("core.admission_price");
+  h_clearing_price_ = metrics_.add_histogram("core.clearing_price");
+  h_wasted_payment_ = metrics_.add_histogram("core.wasted_payment_bytes");
+  h_puzzle_wait_ = metrics_.add_histogram("core.puzzle_wait_s");
+
+  sim::EventLoop* loop = loop_;
+  metrics_.add_gauge("sim.heap_size",
+                     [loop] { return static_cast<double>(loop->heap_size()); });
+  metrics_.add_gauge("sim.wheel_size",
+                     [loop] { return static_cast<double>(loop->wheel_size()); });
+  metrics_.add_gauge("sim.pending_events",
+                     [loop] { return static_cast<double>(loop->pending_events()); });
+  metrics_.add_gauge("sim.executed_events",
+                     [loop] { return static_cast<double>(loop->executed_events()); });
+  metrics_.add_gauge("net.link_queue_bytes",
+                     [this] { return static_cast<double>(link_queue_bytes_); });
+  metrics_.add_gauge("core.elastic_scale", [this] { return elastic_scale_; });
+}
+
+}  // namespace speakup::obs

@@ -1,0 +1,82 @@
+#include "obs/tracer.hpp"
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace speakup::obs {
+
+Tracer::Tracer(std::size_t capacity) : ring_(capacity) {
+  util::require(capacity > 0, "Tracer: capacity must be positive");
+}
+
+namespace {
+
+/// Event names are string literals under our control, but escape anyway so
+/// a stray quote or backslash can never produce an unparsable trace.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\u00";
+      const char* hex = "0123456789abcdef";
+      out.push_back(hex[(c >> 4) & 0xf]);
+      out.push_back(hex[c & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_event(std::string& out, const TraceEvent& e, int pid) {
+  out += "{\"name\":\"";
+  append_escaped(out, e.name);
+  out += "\",\"cat\":\"";
+  append_escaped(out, e.cat);
+  out += "\",\"ph\":\"";
+  out += e.dur_ns < 0 ? 'i' : 'X';
+  out += "\",\"ts\":";
+  // Trace-event timestamps are microseconds; keep sub-us precision as a
+  // decimal fraction so distinct ns-scale events stay distinct.
+  out += util::json::number_to_string(static_cast<double>(e.ts_ns) / 1000.0);
+  if (e.dur_ns >= 0) {
+    out += ",\"dur\":";
+    out += util::json::number_to_string(static_cast<double>(e.dur_ns) / 1000.0);
+  } else {
+    out += ",\"s\":\"t\"";  // instant scope: thread
+  }
+  out += ",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(e.tid);
+  if (e.arg_name != nullptr) {
+    out += ",\"args\":{\"";
+    append_escaped(out, e.arg_name);
+    out += "\":";
+    out += util::json::number_to_string(e.arg);
+    out += "}";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+void Tracer::append_chrome_events(std::string& out, int pid, bool& first) const {
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (!first) out += ",\n";
+    first = false;
+    append_event(out, event(i), pid);
+  }
+}
+
+std::string Tracer::chrome_trace_json(int pid) const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  append_chrome_events(out, pid, first);
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace speakup::obs

@@ -1,0 +1,123 @@
+// Flight-recorder tracing: a bounded ring buffer of span/instant events
+// stamped with sim time, exported as Chrome trace-event JSON (the format
+// Perfetto and chrome://tracing load natively).
+//
+// Design constraints, in order:
+//   - Recording must be allocation-free at steady state: the ring is
+//     preallocated and event names are `const char*` string literals, so a
+//     record is a bounded memcpy into a POD slot. When the ring is full the
+//     oldest event is overwritten — a flight recorder keeps the *latest*
+//     window, which is the window you want when something goes wrong at the
+//     end of a run.
+//   - Spans are recorded as self-contained 'X' (complete) events carrying
+//     (start, duration) rather than B/E pairs: a B whose E was overwritten
+//     (or vice versa) would corrupt the JSON timeline, while a complete
+//     event survives wraparound intact. Nesting still renders: Perfetto
+//     nests 'X' events on the same track by containment.
+//   - Export cost is paid once at the end of the run, never on the hot path.
+//
+// The tracer knows nothing about the simulator's components; the probe
+// catalog lives in obs::Observer (observer.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace speakup::obs {
+
+/// One recorded event. POD; `name`, `cat` and `arg_name` must be string
+/// literals (or otherwise outlive the tracer) — they are stored by pointer.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = -1;  // < 0 marks an instant event
+  std::uint32_t tid = 0;     // track id (e.g. client index); 0 = the sim core
+  const char* arg_name = nullptr;  // optional single numeric argument
+  double arg = 0.0;
+};
+
+class Tracer {
+ public:
+  /// `capacity` is the ring size in events (fixed at construction; the
+  /// buffer is preallocated so recording never allocates).
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  /// A span: work covering [start, start + dur] on track `tid`.
+  void span(const char* name, const char* cat, SimTime start, Duration dur,
+            std::uint32_t tid, const char* arg_name = nullptr, double arg = 0.0) {
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ts_ns = start.ns();
+    e.dur_ns = dur.ns();
+    e.tid = tid;
+    e.arg_name = arg_name;
+    e.arg = arg;
+    push(e);
+  }
+
+  /// A point-in-time event on track `tid`.
+  void instant(const char* name, const char* cat, SimTime ts, std::uint32_t tid,
+               const char* arg_name = nullptr, double arg = 0.0) {
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ts_ns = ts.ns();
+    e.dur_ns = -1;
+    e.tid = tid;
+    e.arg_name = arg_name;
+    e.arg = arg;
+    push(e);
+  }
+
+  /// Events currently held (<= capacity once wrapped).
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Total events ever recorded; `recorded() - size()` were overwritten.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] bool wrapped() const { return recorded_ > count_; }
+
+  /// The i-th retained event, oldest first (introspection for tests).
+  [[nodiscard]] const TraceEvent& event(std::size_t i) const {
+    return ring_[(head_ + i) % ring_.size()];
+  }
+
+  /// Appends this tracer's events to `out` as Chrome trace-event JSON
+  /// objects (comma-separated, no enclosing array), oldest first, all
+  /// under process id `pid`. `first` tracks whether a leading comma is
+  /// needed and is updated; timestamps are microseconds (the trace-event
+  /// unit), durations likewise.
+  void append_chrome_events(std::string& out, int pid, bool& first) const;
+
+  /// A complete single-process trace document for these events.
+  [[nodiscard]] std::string chrome_trace_json(int pid = 0) const;
+
+ private:
+  void push(const TraceEvent& e) {
+    if (count_ == ring_.size()) {
+      ring_[head_] = e;  // overwrite the oldest
+      head_ = (head_ + 1) % ring_.size();
+    } else {
+      ring_[(head_ + count_) % ring_.size()] = e;
+      ++count_;
+    }
+    ++recorded_;
+  }
+
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace speakup::obs

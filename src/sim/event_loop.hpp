@@ -38,6 +38,10 @@
 #include "util/assert.hpp"
 #include "util/units.hpp"
 
+namespace speakup::obs {
+class Observer;  // observability hub (obs/observer.hpp); loop stores a raw ptr
+}  // namespace speakup::obs
+
 namespace speakup::sim {
 
 class EventLoop;
@@ -175,6 +179,35 @@ class EventLoop {
   /// cancelled wheel events are unlinked eagerly, so this counts live
   /// events only).
   [[nodiscard]] std::size_t wheel_size() const { return wheel_.size(); }
+
+  // --- observability ---------------------------------------------------------
+  // The loop is the one object every simulated component can already reach,
+  // so it carries the (untyped) pointer to the run's obs::Observer. Probe
+  // sites read it per call: `if (auto* o = loop().observer()) o->on_x(...)`.
+  // With no observer attached the sole cost is a pointer load.
+
+  void set_observer(obs::Observer* o) { observer_ = o; }
+  [[nodiscard]] obs::Observer* observer() const { return observer_; }
+
+  /// Interval-sampling hook: called from step() when the clock reaches
+  /// `next_sample_ns`; receives the context and the current time and
+  /// returns the next deadline. Deliberately NOT a scheduled event — the
+  /// hook adds nothing to the queues, so `executed_events()` (and with it
+  /// every scenario fingerprint) is identical whether sampling is on or
+  /// off. Disabled cost: one compare against INT64_MAX per step.
+  using SampleHook = std::int64_t (*)(void* ctx, std::int64_t now_ns);
+
+  void set_sample_hook(SampleHook hook, void* ctx, std::int64_t first_deadline_ns) {
+    sample_hook_ = hook;
+    sample_ctx_ = ctx;
+    next_sample_ns_ = first_deadline_ns;
+  }
+
+  void clear_sample_hook() {
+    sample_hook_ = nullptr;
+    sample_ctx_ = nullptr;
+    next_sample_ns_ = INT64_MAX;
+  }
 
  private:
   friend class EventId;
@@ -366,6 +399,14 @@ class EventLoop {
     release_slot(top.slot);
     --pending_;
     ++executed_;
+    // Sample before firing: this is the first event at or past the
+    // boundary, so the registry sees state exactly as of the boundary.
+    // The null check lives inside the branch so the hot path stays one
+    // compare; with no hook the INT64_MAX sentinel is still reachable by
+    // an event scheduled at max_time() itself.
+    if (top.when_ns >= next_sample_ns_ && sample_hook_ != nullptr) {
+      next_sample_ns_ = sample_hook_(sample_ctx_, top.when_ns);
+    }
     fn();
     return true;
   }
@@ -393,6 +434,10 @@ class EventLoop {
   TimerWheel wheel_;
   std::vector<Record> slab_;
   std::uint32_t free_head_ = kNilSlot;
+  obs::Observer* observer_ = nullptr;
+  SampleHook sample_hook_ = nullptr;
+  void* sample_ctx_ = nullptr;
+  std::int64_t next_sample_ns_ = INT64_MAX;
 };
 
 inline bool EventId::pending() const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observer.hpp"
 #include "transport/host.hpp"
 #include "util/log.hpp"
 
@@ -119,6 +120,7 @@ void TcpConnection::send_segment(std::int64_t seq, Bytes len, bool retransmissio
       net::make_data_packet(host_->id(), local_port_, remote_, remote_port_, seq, len));
   if (retransmission) {
     ++retransmits_;
+    if (auto* o = host_->loop().observer()) o->on_tcp_retransmit(cwnd_);
     // Karn's rule: a retransmitted range must not produce an RTT sample.
     if (timed_seq_ != kNoTimedSegment && timed_seq_ >= seq) timed_seq_ = kNoTimedSegment;
   } else if (timed_seq_ == kNoTimedSegment) {
@@ -266,7 +268,10 @@ void TcpConnection::on_rto() {
 
 void TcpConnection::arm_rto() { rto_timer_.restart(rto_); }
 
-void TcpConnection::backoff_rto() { rto_ = std::min(rto_ * 2, cfg_.max_rto); }
+void TcpConnection::backoff_rto() {
+  rto_ = std::min(rto_ * 2, cfg_.max_rto);
+  if (auto* o = host_->loop().observer()) o->on_tcp_rto_backoff(rto_);
+}
 
 void TcpConnection::take_rtt_sample(Duration sample) {
   if (!have_rtt_) {

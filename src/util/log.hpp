@@ -61,3 +61,4 @@ class Logger {
 #define SPEAKUP_LOG_DEBUG(...) ::speakup::util::Logger::log(::speakup::util::LogLevel::kDebug, __VA_ARGS__)
 #define SPEAKUP_LOG_INFO(...) ::speakup::util::Logger::log(::speakup::util::LogLevel::kInfo, __VA_ARGS__)
 #define SPEAKUP_LOG_WARN(...) ::speakup::util::Logger::log(::speakup::util::LogLevel::kWarn, __VA_ARGS__)
+#define SPEAKUP_LOG_ERROR(...) ::speakup::util::Logger::log(::speakup::util::LogLevel::kError, __VA_ARGS__)

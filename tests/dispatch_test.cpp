@@ -251,6 +251,33 @@ TEST_F(DispatchE2E, SurvivesStalledHeartbeat) {
   EXPECT_NE(r.out.find("heartbeat timeout"), std::string::npos) << r.out;
 }
 
+TEST_F(DispatchE2E, EmitsPerWorkerMetricsEventsInJsonView) {
+  // The dispatcher derives per-worker throughput from heartbeat deltas and
+  // emits at most one {"type":"metrics"} event per worker per second, so a
+  // slice must run well past 1 s of wall time for one to fire: a single
+  // 720 s simulated scenario takes several wall seconds on any hardware.
+  // The heartbeat stays at a full second so a scheduler stall under a
+  // loaded parallel ctest run can't trip the worker-kill threshold.
+  const std::string file = dir_ + "/long.json";
+  std::ofstream(file) << "{\n"
+                      << "  \"defaults\": {\"defense\": \"auction\", \"capacity_rps\": 20,\n"
+                      << "    \"duration_s\": 720, \"seed\": 5, \"lan\": {\"good\": 10, \"bad\": 10}},\n"
+                      << "  \"scenarios\": [{\"label\": \"long\"}]\n"
+                      << "}\n";
+  const std::string out = dir_ + "/metrics.csv";
+  const CmdResult r = cli("dispatch " + file + " --workers 1 --slices 1 --out " +
+                          out + " --status json --heartbeat-ms 1000");
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  const std::size_t pos = r.out.find("\"type\":\"metrics\"");
+  ASSERT_NE(pos, std::string::npos) << r.out;
+  const std::string line = r.out.substr(pos, r.out.find('\n', pos) - pos);
+  EXPECT_NE(line.find("\"worker\":0"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"slice\":0"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"rows\":1"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"events_per_s\":"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"rows_per_s\":"), std::string::npos) << line;
+}
+
 TEST_F(DispatchE2E, ResumesAfterDispatcherKill) {
   const std::string single = baseline();
   const std::string out = dir_ + "/resumed.csv";

@@ -1,0 +1,163 @@
+// Observability-off invariance: attaching an obs::Observer must be
+// behavior-invisible. Three guarantees, each pinned here:
+//
+//   1. A *disabled* Observer (metrics off, trace off) attached to a run
+//      leaves every smoke-sweep fingerprint exactly at its pre-obs pinned
+//      value (the PR-3 constants from hotpath_fingerprint_test.cpp).
+//   2. A fully *enabled* Observer still leaves the fingerprints unchanged:
+//      sampling rides the event loop's inline sample hook, not a scheduled
+//      event, so `events_executed` — which fingerprint() hashes — cannot
+//      drift.
+//   3. With the registry compiled in and an Observer attached but disabled,
+//      the steady-state packet pipeline performs zero heap allocations: a
+//      probe site with a disabled half costs a pointer load and a
+//      never-taken branch, nothing more.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/scenario_io.hpp"
+#include "net/network.hpp"
+#include "obs/observer.hpp"
+#include "sim/event_loop.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (same scheme as event_loop_edge_test.cpp): only
+// the *delta* inside a measured region matters.
+// ---------------------------------------------------------------------------
+namespace {
+std::int64_t g_allocations = 0;
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace speakup::exp {
+namespace {
+
+std::string hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+/// Runs `cfg` with an Observer attached for the whole run.
+ExperimentResult run_observed(const ScenarioConfig& cfg,
+                              const obs::Observer::Options& opts) {
+  Experiment e(cfg);
+  obs::Observer ob(e.loop(), opts);
+  ExperimentResult r = e.run();
+  ob.finish();
+  return r;
+}
+
+using Pins = std::vector<std::pair<std::string, std::string>>;
+
+// The smoke-sweep fingerprints, captured at PR 3 — the same constants
+// hotpath_fingerprint_test.cpp pins for the *unobserved* runs. Matching
+// them here proves the Observer changed nothing.
+const Pins kSmokePins = {
+    {"smoke/none", "5926ff42af7d304f"},
+    {"smoke/retry", "6f503a28a37defd5"},
+    {"smoke/auction", "058ae2081de114a0"},
+    {"smoke/quantum", "785972ef788a9750"},
+    {"smoke/auction-seeds/seed7", "058ae2081de114a0"},
+    {"smoke/auction-seeds/seed8", "9bf42045de308896"},
+};
+
+void expect_smoke_pins(const obs::Observer::Options& opts) {
+  const ScenarioFile file =
+      load_scenario_file(std::string(SPEAKUP_SCENARIO_DIR) + "/smoke.json");
+  ASSERT_EQ(file.scenarios.size(), kSmokePins.size());
+  for (std::size_t i = 0; i < kSmokePins.size(); ++i) {
+    const LabeledScenario& s = file.scenarios[i];
+    ASSERT_EQ(s.label, kSmokePins[i].first) << "scenario order changed; re-check pins";
+    const ExperimentResult r = run_observed(s.config, opts);
+    EXPECT_EQ(hex(r.fingerprint()), kSmokePins[i].second)
+        << "observer perturbed '" << s.label
+        << "' (events_executed=" << r.events_executed << ")";
+  }
+}
+
+TEST(ObsInvariance, DisabledObserverLeavesSmokeFingerprintsPinned) {
+  expect_smoke_pins(obs::Observer::Options{});  // both halves off
+}
+
+TEST(ObsInvariance, EnabledMetricsAndTraceLeaveSmokeFingerprintsPinned) {
+  obs::Observer::Options opts;
+  opts.metrics = true;
+  opts.trace = true;
+  opts.sample_interval = Duration::seconds(0.25);  // aggressive sampling
+  expect_smoke_pins(opts);
+}
+
+TEST(ObsInvariance, ObserverDetachesOnDestruction) {
+  sim::EventLoop loop;
+  EXPECT_EQ(loop.observer(), nullptr);
+  {
+    obs::Observer ob(loop, obs::Observer::Options{});
+    EXPECT_EQ(loop.observer(), &ob);
+  }
+  EXPECT_EQ(loop.observer(), nullptr);
+}
+
+// --- zero allocations with a disabled observer attached --------------------
+
+class Reflector : public net::Node {
+ public:
+  Reflector(net::Network& net, net::NodeId id, std::string name)
+      : net::Node(net, id, std::move(name)) {}
+  void on_packet(net::Packet p) override {
+    if (!reply_) return;
+    network().forward(id(), net::make_data_packet(id(), 1, p.src, 1, 0, 500));
+  }
+  void stop() { reply_ = false; }
+
+ private:
+  bool reply_ = true;
+};
+
+TEST(ObsInvariance, DisabledObserverKeepsPacketPipelineAllocationFree) {
+  sim::EventLoop loop;
+  obs::Observer ob(loop, obs::Observer::Options{});  // attached, both halves off
+  net::Network net(loop);
+  auto& a = net.add_node<Reflector>("a");
+  auto& b = net.add_node<Reflector>("b");
+  net.connect(a, b, net::LinkSpec{Bandwidth::mbps(100.0), Duration::micros(100), 1'000'000});
+  net.build_routes();
+  for (int i = 0; i < 8; ++i) {
+    net.forward(a.id(), net::make_data_packet(a.id(), 1, b.id(), 1, 0, 500));
+  }
+  // Warm-up: pools, rings, and the heap reach steady state.
+  loop.run_until(loop.now() + Duration::seconds(1.0));
+  const std::uint64_t warm_events = loop.executed_events();
+  // Measured region: every packet crosses the Link probe sites.
+  const std::int64_t before = g_allocations;
+  loop.run_until(loop.now() + Duration::seconds(10.0));
+  const std::int64_t delta = g_allocations - before;
+  EXPECT_EQ(delta, 0) << "disabled observer allocated on the packet hot path";
+  EXPECT_GT(loop.executed_events(), warm_events + 1000u);  // the region really ran
+  a.stop();
+  b.stop();
+  loop.run();
+}
+
+}  // namespace
+}  // namespace speakup::exp

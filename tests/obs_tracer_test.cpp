@@ -1,0 +1,229 @@
+// The flight recorder and metrics registry, unit and end to end:
+//
+//   - ring semantics: bounded capacity, oldest-first retention, wraparound
+//     keeps the *latest* window;
+//   - export: Chrome trace-event JSON that util::json parses back — 'X'
+//     complete events for spans (they survive wraparound; B/E pairs would
+//     not), 'i' instants, microsecond timestamps, per-track tids;
+//   - registry: counters/gauges/histograms, interval sampling, duplicate
+//     names rejected;
+//   - a traced + metered smoke run produces a valid non-empty trace;
+//   - end to end against the real binary (SPEAKUP_CLI_BIN): `speakup run
+//     --trace --metrics` emits byte-identical artifacts at --jobs 1 and
+//     --jobs 3 — telemetry is rendered inside each worker and assembled in
+//     job-index order, so thread scheduling cannot reorder it.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "exp/scenario_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/tracer.hpp"
+#include "util/json.hpp"
+
+namespace speakup::obs {
+namespace {
+
+using util::json::Value;
+
+// --- ring semantics --------------------------------------------------------
+
+TEST(Tracer, RetainsEverythingBeforeWraparound) {
+  Tracer t(8);
+  for (int i = 0; i < 5; ++i) {
+    t.instant("e", "test", SimTime::from_ns(i), 0);
+  }
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.recorded(), 5u);
+  EXPECT_FALSE(t.wrapped());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(t.event(i).ts_ns, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(Tracer, WraparoundKeepsTheLatestWindowOldestFirst) {
+  Tracer t(4);
+  for (int i = 0; i < 10; ++i) {
+    t.instant("e", "test", SimTime::from_ns(i), 0);
+  }
+  EXPECT_EQ(t.capacity(), 4u);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_TRUE(t.wrapped());
+  // The four retained events are 6, 7, 8, 9 — the flight-recorder window.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.event(i).ts_ns, static_cast<std::int64_t>(6 + i));
+  }
+}
+
+// --- export ----------------------------------------------------------------
+
+TEST(Tracer, ExportsSpansAndInstantsAsValidChromeJson) {
+  Tracer t;
+  // An outer request span with a nested payment span on the same track
+  // (Perfetto nests 'X' events by containment), plus an instant with an arg.
+  t.span("request", "client", SimTime::from_ns(1'000'000), Duration::millis(30), 3,
+         "disposition", 0.0);
+  t.span("payment", "client", SimTime::from_ns(5'000'000), Duration::millis(10), 3);
+  t.instant("auction_clear", "core", SimTime::from_ns(2'000'000), 0, "price", 42.5);
+
+  const std::string doc_text = t.chrome_trace_json(/*pid=*/7);
+  Value doc = util::json::parse(doc_text);
+  const Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->as_array().size(), 3u);
+
+  const Value& request = events->as_array()[0];
+  EXPECT_EQ(request.find("name")->as_string(), "request");
+  EXPECT_EQ(request.find("cat")->as_string(), "client");
+  EXPECT_EQ(request.find("ph")->as_string(), "X");
+  EXPECT_DOUBLE_EQ(request.find("ts")->as_number(), 1000.0);   // us
+  EXPECT_DOUBLE_EQ(request.find("dur")->as_number(), 30000.0);  // us
+  EXPECT_DOUBLE_EQ(request.find("pid")->as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(request.find("tid")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(request.find("args")->find("disposition")->as_number(), 0.0);
+
+  const Value& payment = events->as_array()[1];
+  EXPECT_EQ(payment.find("ph")->as_string(), "X");
+  EXPECT_DOUBLE_EQ(payment.find("ts")->as_number(), 5000.0);
+  EXPECT_DOUBLE_EQ(payment.find("tid")->as_number(), 3.0);
+
+  const Value& clear = events->as_array()[2];
+  EXPECT_EQ(clear.find("ph")->as_string(), "i");
+  EXPECT_EQ(clear.find("s")->as_string(), "t");
+  EXPECT_EQ(clear.find("dur"), nullptr);
+  EXPECT_DOUBLE_EQ(clear.find("args")->find("price")->as_number(), 42.5);
+}
+
+// --- registry --------------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesHistogramsAndSampling) {
+  MetricsRegistry reg;
+  const MetricId c = reg.add_counter("test.count");
+  double level = 1.5;
+  reg.add_gauge("test.level", [&level] { return level; });
+  const MetricId h = reg.add_histogram("test.size");
+  reg.enable_sampling(Duration::seconds(1.0));
+
+  reg.inc(c);
+  reg.inc(c, 4);
+  EXPECT_EQ(reg.counter_value(c), 5);
+  reg.observe(h, 3.0);
+  reg.observe(h, 100.0);
+  reg.sample(SimTime::from_ns(1'000'000'000));
+  level = 9.0;
+  reg.inc(c, 2);
+  reg.sample(SimTime::from_ns(2'000'000'000));
+
+  const Value summary = reg.summary_json();
+  EXPECT_DOUBLE_EQ(summary.find("test.count")->find("value")->as_number(), 7.0);
+  EXPECT_EQ(summary.find("test.count")->find("type")->as_string(), "counter");
+  EXPECT_DOUBLE_EQ(summary.find("test.level")->find("value")->as_number(), 9.0);
+  const Value* hist = summary.find("test.size");
+  EXPECT_DOUBLE_EQ(hist->find("count")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist->find("sum")->as_number(), 103.0);
+  EXPECT_DOUBLE_EQ(hist->find("min")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(hist->find("max")->as_number(), 100.0);
+
+  // Counter samples are deltas per interval: 5 then 2.
+  std::string csv;
+  reg.append_timeseries_csv(csv, "p,");
+  EXPECT_NE(csv.find("p,test.count,1,5\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("p,test.count,2,2\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("p,test.level,2,9\n"), std::string::npos) << csv;
+}
+
+TEST(MetricsRegistry, DuplicateNamesAreRejected) {
+  MetricsRegistry reg;
+  reg.add_counter("dup");
+  EXPECT_THROW(reg.add_histogram("dup"), std::invalid_argument);
+}
+
+// --- a traced smoke run ----------------------------------------------------
+
+TEST(Tracer, SmokeRunProducesValidNonEmptyTrace) {
+  const exp::ScenarioFile file = exp::load_scenario_file(
+      std::string(SPEAKUP_SCENARIO_DIR) + "/smoke.json");
+  Observer::Options opts;
+  opts.metrics = true;
+  opts.trace = true;
+  exp::Experiment e(file.scenarios[2].config);  // smoke/auction
+  Observer ob(e.loop(), opts);
+  (void)e.run();
+  ob.finish();
+
+  ASSERT_GT(ob.tracer().size(), 0u);
+  Value doc = util::json::parse(ob.tracer().chrome_trace_json());
+  const Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->as_array().empty());
+  for (const Value& ev : events->as_array()) {
+    ASSERT_NE(ev.find("name"), nullptr);
+    const std::string ph = ev.find("ph")->as_string();
+    ASSERT_TRUE(ph == "X" || ph == "i") << ph;
+    if (ph == "X") {
+      ASSERT_NE(ev.find("dur"), nullptr);
+    }
+    ASSERT_GE(ev.find("ts")->as_number(), 0.0);
+  }
+  // The auction run must have recorded admissions and request spans.
+  const Value summary = ob.metrics().summary_json();
+  EXPECT_GT(summary.find("core.auctions")->find("value")->as_number(), 0.0);
+  EXPECT_GT(summary.find("client.requests_served")->find("value")->as_number(), 0.0);
+}
+
+// --- end to end: --jobs invariance of every telemetry artifact --------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(TracerE2E, TelemetryArtifactsAreByteIdenticalAcrossJobs) {
+  char tmpl[] = "/tmp/speakup_obs_test_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string scenario = std::string(SPEAKUP_SCENARIO_DIR) + "/smoke.json";
+
+  for (const int jobs : {1, 3}) {
+    const std::string tag = dir + "/j" + std::to_string(jobs);
+    const std::string cmd = std::string(SPEAKUP_CLI_BIN) + " run " + scenario +
+                            " --out " + tag + ".csv --metrics " + tag +
+                            ".json --trace " + tag + ".trace.json --jobs " +
+                            std::to_string(jobs) + " --quiet";
+    const int status = std::system(cmd.c_str());
+    ASSERT_TRUE(status != -1 && WIFEXITED(status) && WEXITSTATUS(status) == 0) << cmd;
+  }
+
+  const std::string trace1 = read_file(dir + "/j1.trace.json");
+  EXPECT_FALSE(trace1.empty());
+  EXPECT_EQ(trace1, read_file(dir + "/j3.trace.json"));
+  EXPECT_EQ(read_file(dir + "/j1.json"), read_file(dir + "/j3.json"));
+  EXPECT_EQ(read_file(dir + "/j1.timeseries.csv"), read_file(dir + "/j3.timeseries.csv"));
+  EXPECT_EQ(read_file(dir + "/j1.csv"), read_file(dir + "/j3.csv"));
+
+  // The trace and metrics documents parse, and metrics.json covers all six
+  // smoke scenarios.
+  Value trace = util::json::parse(trace1);
+  ASSERT_NE(trace.find("traceEvents"), nullptr);
+  EXPECT_FALSE(trace.find("traceEvents")->as_array().empty());
+  Value metrics = util::json::parse(read_file(dir + "/j1.json"));
+  ASSERT_NE(metrics.find("runs"), nullptr);
+  EXPECT_EQ(metrics.find("runs")->as_array().size(), 6u);
+
+  const std::string cleanup = "rm -rf '" + dir + "'";
+  (void)std::system(cleanup.c_str());
+}
+
+}  // namespace
+}  // namespace speakup::obs

@@ -44,6 +44,7 @@
 #include "exp/runner.hpp"
 #include "exp/scenario_io.hpp"
 #include "exp/tournament.hpp"
+#include "obs/observer.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -63,6 +64,11 @@ int usage(std::FILE* to) {
                "    --resume         skip indices already in the --out CSV, merge the rest\n"
                "    --list           print the expanded index/label/seed table, run nothing\n"
                "    --quiet          suppress the summary table on stdout\n"
+               "    --metrics FILE   write per-run metrics summaries as JSON; sampled\n"
+               "                     timeseries go to FILE's '.timeseries.csv' sibling\n"
+               "    --trace FILE     write a Chrome trace-event JSON flight recording\n"
+               "                     (load in Perfetto; pid = scenario index)\n"
+               "    --sample-interval S  metrics sampling period in sim seconds (default 1)\n"
                "  speakup dispatch <scenarios.json> --out FILE [options]\n"
                "                                           fault-tolerant multi-worker sweep\n"
                "    --workers N      worker subprocesses to keep alive (default 4)\n"
@@ -135,6 +141,8 @@ void write_file(const std::string& path, const std::string& content) {
 
 int cmd_run(const std::vector<std::string>& args) {
   std::string scenario_path, out_csv, out_json;
+  std::string metrics_path, trace_path;
+  double sample_interval_s = 1.0;
   int jobs = 0;
   int shard_index = 0, shard_count = 1;
   bool quiet = false;
@@ -166,6 +174,22 @@ int cmd_run(const std::vector<std::string>& args) {
       list_only = true;
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (a == "--metrics") {
+      metrics_path = value();
+    } else if (a == "--trace") {
+      trace_path = value();
+    } else if (a == "--sample-interval") {
+      const std::string& text = value();
+      std::size_t pos = 0;
+      try {
+        sample_interval_s = std::stod(text, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (text.empty() || pos != text.size() || sample_interval_s <= 0.0) {
+        throw std::runtime_error("--sample-interval wants a positive number (got '" +
+                                 text + "')");
+      }
     } else if (!a.empty() && a[0] == '-') {
       throw std::runtime_error("unknown option '" + a + "' for run");
     } else if (scenario_path.empty()) {
@@ -254,6 +278,17 @@ int cmd_run(const std::vector<std::string>& args) {
 
   exp::Runner runner;
   exp::ScenarioFile::queue_on(runner, slice);
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    obs::Observer::Options opts;
+    opts.metrics = !metrics_path.empty();
+    opts.trace = !trace_path.empty();
+    opts.sample_interval = Duration::seconds(sample_interval_s);
+    runner.set_observability(opts);
+    std::vector<std::size_t> indices;
+    indices.reserve(slice.size());
+    for (const exp::LabeledScenario& s : slice) indices.push_back(s.index);
+    runner.set_telemetry_indices(std::move(indices));
+  }
   runner.run_all(jobs);
 
   exp::ResultWriter writer;
@@ -283,6 +318,49 @@ int cmd_run(const std::vector<std::string>& args) {
     writer.write_json(os);
     write_file(out_json, os.str());
     if (!quiet) std::printf("wrote %s\n", out_json.c_str());
+  }
+  // Telemetry assembly happens here, in job order, so the files are
+  // byte-identical for any --jobs value.
+  if (!metrics_path.empty()) {
+    util::json::Value doc{util::json::Value::Object{}};
+    doc.set("version", 1);
+    doc.set("sample_interval_s", sample_interval_s);
+    util::json::Value runs{util::json::Value::Array{}};
+    std::string timeseries = "index,label,metric,time_s,value\n";
+    for (std::size_t i = 0; i < runner.outcomes().size(); ++i) {
+      const exp::RunOutcome& o = runner.outcomes()[i];
+      if (!o.ok() || o.telemetry.metrics_json.empty()) continue;
+      util::json::Value r{util::json::Value::Object{}};
+      r.set("index", static_cast<std::int64_t>(slice[i].index));
+      r.set("label", o.label);
+      r.set("metrics", util::json::parse(o.telemetry.metrics_json));
+      runs.push_back(std::move(r));
+      timeseries += o.telemetry.timeseries_csv;
+    }
+    doc.set("runs", std::move(runs));
+    write_file(metrics_path, doc.dump(2) + "\n");
+    // The sampled timeseries ride beside the summary: "<FILE minus .json>
+    // .timeseries.csv".
+    std::string ts_path = metrics_path;
+    if (ts_path.size() > 5 && ts_path.ends_with(".json")) {
+      ts_path.resize(ts_path.size() - 5);
+    }
+    ts_path += ".timeseries.csv";
+    write_file(ts_path, timeseries);
+    if (!quiet) std::printf("wrote %s and %s\n", metrics_path.c_str(), ts_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::string trace = "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const exp::RunOutcome& o : runner.outcomes()) {
+      if (o.telemetry.trace_json.empty()) continue;
+      if (!first) trace += ",\n";
+      first = false;
+      trace += o.telemetry.trace_json;
+    }
+    trace += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    write_file(trace_path, trace);
+    if (!quiet) std::printf("wrote %s\n", trace_path.c_str());
   }
   if (!quiet) runner.summary_table().print(std::cout);
   return failures == 0 ? 0 : 1;
