@@ -6,52 +6,18 @@
 // or divides its bytes. We run the auction game against adversary timing
 // strategies (including the proof's reactive worst case) and service-time
 // jitter, and print the measured fraction next to the bounds.
+//
+// The swept grid — eps, delta, adversary names, tick counts, RNG seed —
+// comes from scenarios/abl5.json; the adversary timing functions live in
+// the core::auction_game registry (the JSON refers to them by name).
 #include <cstdio>
-#include <functional>
 #include <iostream>
-#include <map>
 
 #include "bench/bench_common.hpp"
+#include "core/auction_game.hpp"
 #include "core/theory.hpp"
 #include "stats/table.hpp"
 #include "util/rng.hpp"
-
-namespace {
-
-using speakup::util::RngStream;
-
-/// One auction per service interval. `jitter` perturbs each interval's
-/// budget by U[1-delta, 1+delta] (service-time fluctuation: a longer
-/// interval lets everyone pay more before the next auction).
-template <typename AdversaryFn>
-double run_auction_game(double eps, double delta, int ticks, RngStream& rng,
-                        AdversaryFn adversary) {
-  double victim_bid = 0.0;
-  std::map<int, double> adversary_bids;
-  int victim_wins = 0;
-  for (int t = 0; t < ticks; ++t) {
-    const double interval = delta > 0 ? rng.uniform(1.0 - delta, 1.0 + delta) : 1.0;
-    victim_bid += eps * interval;
-    adversary(t, adversary_bids, victim_bid, (1.0 - eps) * interval);
-    double best = 0.0;
-    int best_id = -1;
-    for (const auto& [id, bid] : adversary_bids) {
-      if (bid > best) {
-        best = bid;
-        best_id = id;
-      }
-    }
-    if (victim_bid > best) {
-      ++victim_wins;
-      victim_bid = 0.0;
-    } else if (best_id >= 0) {
-      adversary_bids[best_id] = 0.0;
-    }
-  }
-  return static_cast<double>(victim_wins) / ticks;
-}
-
-}  // namespace
 
 int main() {
   using namespace speakup;
@@ -60,50 +26,27 @@ int main() {
       "every adversary strategy leaves the eps-bandwidth client at least "
       "~eps/2 of the service; the reactive outbidder approaches the bound");
 
-  const int kTicks = bench::full_mode() ? 500'000 : 100'000;
-  RngStream rng(55, "abl5");
-
-  using Adversary =
-      std::function<void(int, std::map<int, double>&, double victim, double budget)>;
-  const struct {
-    const char* name;
-    Adversary fn;
-  } strategies[] = {
-      {"single-saver",
-       [](int, std::map<int, double>& b, double, double budget) { b[0] += budget; }},
-      {"10-way-split",
-       [](int, std::map<int, double>& b, double, double budget) {
-         for (int i = 0; i < 10; ++i) b[i] += budget / 10;
-       }},
-      {"reactive-outbidder",
-       [](int, std::map<int, double>& b, double victim, double budget) {
-         b[1] += budget;  // bank
-         const double need = victim - b[0];
-         if (need > 0 && b[1] >= need) {
-           b[0] += need;
-           b[1] -= need;
-         }
-       }},
-      {"bursty-hoard",
-       [](int t, std::map<int, double>& b, double, double budget) {
-         b[1] += budget;
-         if (t % 50 == 0) {  // dump the hoard into the active bid
-           b[0] += b[1];
-           b[1] = 0;
-         }
-       }},
-  };
+  core::AuctionGameSpec spec;
+  try {
+    spec = core::load_auction_game_file(bench::scenario_path("abl5.json"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  const int ticks = bench::full_mode() ? spec.ticks_full : spec.ticks_quick;
+  util::RngStream rng(spec.seed, spec.stream);
 
   stats::Table table({"eps", "delta", "strategy", "measured", "eps/(2-eps)",
                       "jitter-bound"});
-  for (const double eps : {0.05, 0.1, 0.2, 0.3, 0.5}) {
-    for (const double delta : {0.0, 0.1}) {
-      for (const auto& s : strategies) {
-        const double won = run_auction_game(eps, delta, kTicks, rng, s.fn);
+  for (const double eps : spec.eps) {
+    for (const double delta : spec.delta) {
+      for (const std::string& name : spec.adversaries) {
+        const double won =
+            core::run_auction_game(eps, delta, ticks, rng, core::adversary_fn(name));
         table.row()
             .add(eps, 2)
             .add(delta, 1)
-            .add(s.name)
+            .add(name)
             .add(won, 4)
             .add(core::theory::theorem31_service_fraction(eps), 4)
             .add(core::theory::theorem31_service_fraction_jitter(eps, delta), 4);

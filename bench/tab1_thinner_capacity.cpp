@@ -7,12 +7,19 @@
 // accounting) — sinks *simulated* payment bytes per second of host wall
 // time. As in the paper, smaller packets cost more per byte because the
 // per-packet work dominates.
+//
+// The measured grid — client count and wire packet sizes — comes from
+// scenarios/tab1_capacity.json; the benchmarks are registered at runtime
+// from that file.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "core/auction_thinner.hpp"
+#include "exp/scenario_io.hpp"
 #include "net/network.hpp"
 #include "sim/event_loop.hpp"
 #include "transport/host.hpp"
@@ -77,11 +84,11 @@ struct CapacityRig {
   std::vector<std::unique_ptr<http::MessageStream>> streams;
 };
 
-/// Arg(0): wire packet size (payload = size - 40). Matches the paper's
-/// 1500-byte and 120-byte measurements.
-void BM_ThinnerSinkRate(benchmark::State& state) {
+/// Arg(0): wire packet size (payload = size - 40). The checked-in grid
+/// matches the paper's 1500-byte and 120-byte measurements.
+void BM_ThinnerSinkRate(benchmark::State& state, int clients) {
   const Bytes mss = state.range(0) - net::kHeaderBytes;
-  CapacityRig rig(mss, /*clients=*/32);
+  CapacityRig rig(mss, clients);
   Bytes sunk_before = rig.thinner->stats().payment_bytes_total;
   double sim_seconds = 1.0;
   for (auto _ : state) {
@@ -97,6 +104,24 @@ void BM_ThinnerSinkRate(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_ThinnerSinkRate)->Arg(1500)->Arg(120)->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  exp::CapacityBenchSpec spec;
+  try {
+    spec = exp::load_capacity_bench_file(bench::scenario_path("tab1_capacity.json"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  auto* b = benchmark::RegisterBenchmark(
+      "BM_ThinnerSinkRate",
+      [clients = spec.clients](benchmark::State& state) {
+        BM_ThinnerSinkRate(state, clients);
+      });
+  for (const int bytes : spec.packet_bytes) b->Arg(bytes);
+  b->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,371 @@
+// Transliteration of WorkloadClient / PaymentChannelClient control flow
+// onto the pool's dense arrays. Every statement here mirrors a statement in
+// workload_client.cpp in the same order — in particular every schedule(),
+// reserve_seq(), Timer::restart() and SessionPool::retire() call happens at
+// the same point in execution, which is what keeps the two engines'
+// event sequences (and result fingerprints) bit-identical.
+#include "client/client_pool.hpp"
+
+#include <algorithm>
+
+#include "obs/observer.hpp"
+#include "util/log.hpp"
+
+namespace speakup::client {
+
+using http::Message;
+using http::MessageStream;
+using http::MessageType;
+
+ClientPool::ClientPool(sim::EventLoop& loop, net::NodeId thinner,
+                       const WorkloadParams& params, std::uint32_t base_index)
+    : loop_(&loop),
+      thinner_(thinner),
+      params_(params),
+      base_index_(base_index),
+      session_pool_(loop) {
+  util::require(params.lambda > 0, "client lambda must be positive");
+  util::require(params.window >= 1, "client window must be >= 1");
+  request_template_ = Message{.type = MessageType::kRequest,
+                              .request_id = 0,
+                              .cls = params_.cls,
+                              .difficulty = params_.difficulty};
+}
+
+ClientPool::~ClientPool() {
+  if (armed_ev_.pending()) loop_->cancel(armed_ev_);
+  for (std::uint32_t slot = 0; slot < slot_live_.size(); ++slot) {
+    if (slot_live_[slot]) request_at(slot)->~Request();
+  }
+}
+
+void ClientPool::add_member(transport::Host& host, util::RngStream rng) {
+  hosts_.push_back(&host);
+  rngs_.push_back(std::move(rng));
+  strategies_.push_back(
+      StrategyFactory::instance().create(params_.strategy, strategy_params(params_)));
+  stats_.emplace_back();
+  next_seq_.push_back(0);
+  paused_.push_back(0);
+  // Preallocate the per-member dynamic state (a member's FIRST backlog
+  // push or outstanding request can land arbitrarily late in a run, and
+  // the steady-state request cycle must never touch the allocator —
+  // tests/client_pool_test.cpp pins that with a counted operator new).
+  backlogs_.emplace_back();
+  backlogs_.back().grow();  // ring capacity 8 up front
+  outstanding_.emplace_back();
+  outstanding_.back().reserve(static_cast<std::size_t>(params_.window) + 1);
+  arr_when_.emplace_back();
+  arr_seq_.push_back(0);
+  heap_pos_.push_back(kNpos);
+}
+
+StrategyView ClientPool::view(std::uint32_t m) const {
+  StrategyView v;
+  v.now = loop_->now();
+  v.stats = &stats_[m];
+  v.outstanding = outstanding_[m].size();
+  v.backlog = backlogs_[m].count;
+  return v;
+}
+
+int ClientPool::current_window(std::uint32_t m) {
+  return std::max(1, strategies_[m]->window(view(m)));
+}
+
+void ClientPool::start_all() {
+  for (std::uint32_t m = 0; m < hosts_.size(); ++m) draw_next_arrival(m);
+  arm_next();
+}
+
+void ClientPool::draw_next_arrival(std::uint32_t m) {
+  const Duration gap = strategies_[m]->next_arrival(rngs_[m], view(m));
+  arr_when_[m] = loop_->now() + gap;
+  arr_seq_[m] = loop_->reserve_seq();
+  heap_insert(m);
+}
+
+void ClientPool::arm_next() {
+  if (armed_ev_.pending()) loop_->cancel(armed_ev_);
+  if (heap_.empty()) return;
+  const std::uint32_t m = heap_[0];
+  armed_ev_ = loop_->schedule_keyed(arr_when_[m], arr_seq_[m], [this] { fire(); });
+}
+
+void ClientPool::fire() {
+  const std::uint32_t m = heap_[0];
+  heap_pop_min();
+  on_arrival(m);
+  arm_next();
+}
+
+void ClientPool::on_arrival(std::uint32_t m) {
+  if (paused_[m]) return;  // chain stops, like the object engine's early return
+  ++stats_[m].arrivals;
+  purge_backlog(m);
+  if (outstanding_[m].size() < static_cast<std::size_t>(current_window(m))) {
+    start_request(m);
+  } else {
+    backlogs_[m].push_back(loop_->now());
+  }
+  draw_next_arrival(m);
+}
+
+void ClientPool::start_request(std::uint32_t m) {
+  const std::uint64_t id = id_base(m) | next_seq_[m]++;
+  const std::uint32_t slot = acquire_request();
+  Request& r = *request_at(slot);
+  r.id = id;
+  r.member = m;
+  r.sent = loop_->now();
+  r.timer.emplace(*loop_, [this, id] { finish(id, Disposition::kDenied); });
+  r.timer->restart(params_.request_timeout);
+
+  transport::TcpConnection& conn = hosts_[m]->connect(thinner_, params_.request_port);
+  r.stream = &session_pool_.adopt(conn);
+  MessageStream::Callbacks cbs;
+  // [this, slot] captures stay inside std::function's inline buffer; they
+  // are safe because a retired stream never fires callbacks again, so a
+  // recycled slot is unreachable from the old stream.
+  cbs.on_established = [this, slot] {
+    Request& req = *request_at(slot);
+    if (req.stream == nullptr) return;
+    Message msg = request_template_;
+    msg.request_id = req.id;
+    req.stream->send(msg);
+    ++req.retries_sent;
+  };
+  cbs.on_message = [this, slot](const Message& msg) { on_message(*request_at(slot), msg); };
+  cbs.on_reset = [this, id](/*thinner evicted us or network failure*/) {
+    finish(id, Disposition::kDenied);
+  };
+  cbs.on_acked = [this, slot](Bytes) {
+    Request& req = *request_at(slot);
+    if (req.retry_pumping) pump_retries(req);
+  };
+  r.stream->set_callbacks(std::move(cbs));
+  outstanding_[m].push_back(slot);
+  ++stats_[m].started;
+}
+
+void ClientPool::on_message(Request& r, const Message& m) {
+  const std::uint32_t mem = r.member;
+  switch (m.type) {
+    case MessageType::kPleasePay: {
+      if (r.payment.has_value()) break;  // already paying (or defected)
+      if (!strategies_[mem]->pay(rngs_[mem], view(mem))) {
+        ++stats_[mem].payments_declined;
+        if (auto* o = loop_->observer()) o->on_payment_declined(global_index(mem));
+        break;  // sit out the auction; the request rides on its timeout
+      }
+      r.paying = true;
+      r.pay_started = loop_->now();
+      if (auto* o = loop_->observer()) o->on_payment_started(global_index(mem));
+      PaymentChannelClient::Config pc;
+      pc.thinner = thinner_;
+      pc.payment_port = params_.payment_port;
+      pc.post_size = params_.post_size;
+      r.payment.emplace(*hosts_[mem], session_pool_, pc, r.id, params_.cls);
+      r.payment->start();
+      if (const auto patience = strategies_[mem]->payment_patience(rngs_[mem], view(mem))) {
+        const std::uint64_t id = r.id;
+        r.defect_timer.emplace(*loop_, [this, id] { abandon_payment(id); });
+        r.defect_timer->restart(*patience);
+      }
+      break;
+    }
+    case MessageType::kRetry:
+      // §3.2: stream retries without waiting for individual signals.
+      if (!r.retry_pumping) {
+        r.retry_pumping = true;
+        pump_retries(r);
+      }
+      break;
+    case MessageType::kResponse: {
+      ++stats_[mem].served;
+      stats_[mem].response_time.add((loop_->now() - r.sent).sec());
+      if (r.paying) {
+        stats_[mem].payment_time_client.add((loop_->now() - r.pay_started).sec());
+      }
+      finish(r.id, Disposition::kServed);
+      break;
+    }
+    case MessageType::kBusy:
+      finish(r.id, Disposition::kBusyRejected);
+      break;
+    case MessageType::kAborted:
+      finish(r.id, Disposition::kDenied);
+      break;
+    default:
+      break;
+  }
+}
+
+void ClientPool::abandon_payment(std::uint64_t id) {
+  std::uint32_t slot = 0;
+  Request* r = find_request(id, &slot);
+  if (r == nullptr) return;
+  if (!r->payment.has_value() || r->payment->stopped()) return;
+  r->payment->stop();  // §7.4 defection: the bid freezes mid-window
+  ++stats_[r->member].payments_abandoned;
+  if (auto* o = loop_->observer()) o->on_payment_abandoned(global_index(r->member));
+}
+
+void ClientPool::pump_retries(Request& r) {
+  if (r.stream == nullptr || r.stream->connection() == nullptr) return;
+  const transport::TcpConnection& conn = *r.stream->connection();
+  const Bytes per_msg = Message{.type = MessageType::kRequest}.wire_bytes();
+  const auto acked_msgs = conn.bytes_acked() / per_msg;
+  const int pipeline = strategies_[r.member]->retry_pipeline(view(r.member));
+  while (r.retries_sent - acked_msgs < pipeline) {
+    Message msg = request_template_;
+    msg.request_id = r.id;
+    r.stream->send(msg);
+    ++r.retries_sent;
+    ++stats_[r.member].retries_sent;
+  }
+}
+
+void ClientPool::finish(std::uint64_t id, Disposition d) {
+  std::uint32_t slot = 0;
+  Request* rp = find_request(id, &slot);
+  if (rp == nullptr) return;
+  Request& r = *rp;
+  const std::uint32_t mem = r.member;
+  int disposition = 0;
+  switch (d) {
+    case Disposition::kServed:
+      break;  // counted by the caller
+    case Disposition::kDenied:
+      ++stats_[mem].denied;
+      disposition = 1;
+      break;
+    case Disposition::kBusyRejected:
+      ++stats_[mem].busy_rejected;
+      disposition = 2;
+      break;
+  }
+  if (auto* o = loop_->observer()) {
+    o->on_request_finish(global_index(mem), r.sent, disposition, r.paying, r.pay_started);
+  }
+  if (r.payment.has_value()) {
+    stats_[mem].payment_bytes_acked += r.payment->bytes_acked();
+    r.payment->stop();
+  }
+  if (r.stream != nullptr) {
+    MessageStream* s = r.stream;
+    r.stream = nullptr;
+    session_pool_.retire(s);
+  }
+  std::vector<std::uint32_t>& out = outstanding_[mem];
+  for (std::uint32_t& e : out) {
+    if (e == slot) {
+      e = out.back();
+      out.pop_back();
+      break;
+    }
+  }
+  release_request(slot);
+  drain_backlog(mem);
+}
+
+void ClientPool::purge_backlog(std::uint32_t m) {
+  const SimTime now = loop_->now();
+  BacklogRing& bl = backlogs_[m];
+  while (bl.count > 0 && now - bl.front() > params_.backlog_timeout) {
+    bl.pop_front();
+    ++stats_[m].denied;  // §7.1: queued longer than 10 s -> service denial
+  }
+}
+
+void ClientPool::drain_backlog(std::uint32_t m) {
+  purge_backlog(m);
+  while (backlogs_[m].count > 0 &&
+         outstanding_[m].size() < static_cast<std::size_t>(current_window(m))) {
+    backlogs_[m].pop_front();
+    start_request(m);
+  }
+}
+
+std::uint32_t ClientPool::acquire_request() {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slot_live_.size());
+    if (slot % kChunk == 0) chunks_.push_back(std::make_unique<RawSlot[]>(kChunk));
+    slot_live_.push_back(0);
+    slot_gen_.push_back(0);
+  }
+  ::new (static_cast<void*>(chunks_[slot / kChunk][slot % kChunk].bytes)) Request();
+  slot_live_[slot] = 1;
+  ++live_requests_;
+  return slot;
+}
+
+void ClientPool::release_request(std::uint32_t slot) {
+  request_at(slot)->~Request();  // timer dtors cancel; payment dtor is a no-op
+  slot_live_[slot] = 0;
+  ++slot_gen_[slot];
+  free_slots_.push_back(slot);
+  --live_requests_;
+}
+
+ClientPool::Request* ClientPool::find_request(std::uint64_t id, std::uint32_t* out_slot) {
+  const auto global = static_cast<std::uint32_t>((id >> 32) - 1);
+  if (global < base_index_ || global - base_index_ >= outstanding_.size()) return nullptr;
+  for (const std::uint32_t slot : outstanding_[global - base_index_]) {
+    Request* r = request_at(slot);
+    if (r->id == id) {
+      *out_slot = slot;
+      return r;
+    }
+  }
+  return nullptr;
+}
+
+void ClientPool::heap_insert(std::uint32_t m) {
+  heap_pos_[m] = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(m);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void ClientPool::heap_pop_min() {
+  heap_pos_[heap_[0]] = kNpos;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_sift_down(0);
+  }
+}
+
+void ClientPool::heap_sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    heap_pos_[heap_[parent]] = static_cast<std::uint32_t>(parent);
+    i = parent;
+  }
+}
+
+void ClientPool::heap_sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && heap_less(heap_[l], heap_[best])) best = l;
+    if (r < n && heap_less(heap_[r], heap_[best])) best = r;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    heap_pos_[heap_[best]] = static_cast<std::uint32_t>(best);
+    i = best;
+  }
+}
+
+}  // namespace speakup::client

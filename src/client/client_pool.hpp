@@ -1,0 +1,230 @@
+// The million-client engine: a struct-of-arrays WorkloadClient cohort.
+//
+// One ClientPool runs an entire client group (one WorkloadParams, N
+// members) with the per-member state the object engine scatters across N
+// WorkloadClient allocations laid out in dense parallel arrays indexed by
+// member id: stats, strategy, RNG stream, request-id counter, backlog ring.
+// Outstanding requests live in a pool-wide chunked slab (stable addresses,
+// generation-counted slots) instead of N unordered_maps of unique_ptrs, and
+// all members share one http::SessionPool.
+//
+// Arrival batching is the interesting part. The object engine keeps one
+// pending event-loop entry per client; at 10^5-10^6 clients that is 10^5+
+// live slab records just for arrival timers. The pool keeps ONE armed
+// event per cohort and an indexed min-heap of per-member (when, seq) keys.
+// Bit-exactness with the object engine falls out of the reserve_seq /
+// schedule_keyed split in sim::EventLoop:
+//
+//   - wherever a WorkloadClient would call loop.schedule() for an arrival,
+//     the pool calls loop.reserve_seq() — consuming the SAME sequence
+//     number at the same point in execution — and parks (when, seq) in the
+//     cohort heap;
+//   - the cohort's single armed event is filed with schedule_keyed() under
+//     the heap minimum's reserved key, so it occupies exactly the slot in
+//     the (when, seq) total order that the per-client event would have;
+//   - each fire handles exactly one member's arrival (one executed event,
+//     matching the object engine's count) and re-arms at the new minimum.
+//
+// Every other code path — timers, TCP, streams, payments, deferred
+// retirement — is shared with the object engine verbatim, so the whole
+// simulation replays the identical event sequence and every
+// ExperimentResult fingerprint matches byte for byte (enforced by
+// tests/engine_differential_test.cpp on every checked-in scenario).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "client/client_stats.hpp"
+#include "client/payment_channel.hpp"
+#include "client/strategy.hpp"
+#include "client/workload_client.hpp"
+#include "http/message.hpp"
+#include "http/message_stream.hpp"
+#include "http/session_pool.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/timer.hpp"
+#include "transport/host.hpp"
+#include "util/rng.hpp"
+
+namespace speakup::client {
+
+class ClientPool {
+ public:
+  /// `base_index` is the global client index of member 0; members are
+  /// globally indexed base_index, base_index+1, ... (trace track ids and
+  /// request-id namespaces, identical to the object engine's client_index).
+  ClientPool(sim::EventLoop& loop, net::NodeId thinner, const WorkloadParams& params,
+             std::uint32_t base_index);
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+  ~ClientPool();
+
+  /// Adds one member. Must mirror the object engine's construction order:
+  /// hosts in global client order, each with its own seeded RNG stream.
+  void add_member(transport::Host& host, util::RngStream rng);
+
+  /// Starts every member's arrival process, in member order — the seq
+  /// reservations here line up with the object engine's start() loop.
+  void start_all();
+
+  /// Stops issuing new requests for one member (outstanding ones keep
+  /// running); mirrors WorkloadClient::pause().
+  void pause(std::uint32_t member) { paused_[member] = 1; }
+
+  [[nodiscard]] std::size_t size() const { return hosts_.size(); }
+  [[nodiscard]] const ClientStats& stats(std::uint32_t member) const {
+    return stats_[member];
+  }
+  [[nodiscard]] std::size_t outstanding(std::uint32_t member) const {
+    return outstanding_[member].size();
+  }
+  [[nodiscard]] std::size_t backlog(std::uint32_t member) const {
+    return backlogs_[member].count;
+  }
+
+  // --- request-slab introspection (dense-id reuse / generation tests) ----
+  /// Total request slots ever created (high-water mark of concurrency).
+  [[nodiscard]] std::uint32_t request_slots() const {
+    return static_cast<std::uint32_t>(slot_live_.size());
+  }
+  /// Times the slot has been recycled.
+  [[nodiscard]] std::uint32_t request_generation(std::uint32_t slot) const {
+    return slot_gen_[slot];
+  }
+  [[nodiscard]] std::size_t live_requests() const { return live_requests_; }
+
+ private:
+  struct Request {
+    std::uint64_t id = 0;  // (global_index + 1) << 32 | per-client seq
+    std::uint32_t member = 0;
+    SimTime sent;
+    http::MessageStream* stream = nullptr;
+    std::optional<PaymentChannelClient> payment;
+    std::optional<sim::Timer> timer;
+    std::optional<sim::Timer> defect_timer;
+    bool paying = false;
+    SimTime pay_started;
+    bool retry_pumping = false;
+    std::int64_t retries_sent = 0;
+  };
+
+  enum class Disposition { kServed, kDenied, kBusyRejected };
+
+  /// Growable FIFO ring of backlogged arrival timestamps (the object
+  /// engine's std::deque<SimTime>, minus the deque's chunk allocator).
+  struct BacklogRing {
+    std::vector<SimTime> buf;
+    std::size_t head = 0;
+    std::size_t count = 0;
+
+    [[nodiscard]] const SimTime& front() const { return buf[head]; }
+    void push_back(SimTime t) {
+      if (count == buf.size()) grow();
+      buf[(head + count) % buf.size()] = t;
+      ++count;
+    }
+    void pop_front() {
+      head = (head + 1) % buf.size();
+      --count;
+    }
+    void grow() {
+      const std::size_t old_cap = buf.size();
+      std::vector<SimTime> bigger(old_cap == 0 ? 8 : old_cap * 2);
+      for (std::size_t i = 0; i < count; ++i) bigger[i] = buf[(head + i) % old_cap];
+      buf.swap(bigger);
+      head = 0;
+    }
+  };
+
+  static constexpr std::size_t kChunk = 64;
+  static constexpr std::uint32_t kNpos = UINT32_MAX;
+
+  struct alignas(Request) RawSlot {
+    std::byte bytes[sizeof(Request)];
+  };
+
+  // --- transliterated WorkloadClient logic (one member at a time) --------
+  [[nodiscard]] StrategyView view(std::uint32_t m) const;
+  [[nodiscard]] int current_window(std::uint32_t m);
+  void on_arrival(std::uint32_t m);
+  void start_request(std::uint32_t m);
+  void on_message(Request& r, const http::Message& m);
+  void abandon_payment(std::uint64_t id);
+  void pump_retries(Request& r);
+  void finish(std::uint64_t id, Disposition d);
+  void purge_backlog(std::uint32_t m);
+  void drain_backlog(std::uint32_t m);
+
+  [[nodiscard]] std::uint32_t global_index(std::uint32_t m) const {
+    return base_index_ + m;
+  }
+  [[nodiscard]] std::uint64_t id_base(std::uint32_t m) const {
+    return static_cast<std::uint64_t>(global_index(m) + 1) << 32;
+  }
+
+  // --- request slab ------------------------------------------------------
+  [[nodiscard]] Request* request_at(std::uint32_t slot) {
+    return std::launder(
+        reinterpret_cast<Request*>(chunks_[slot / kChunk][slot % kChunk].bytes));
+  }
+  std::uint32_t acquire_request();
+  void release_request(std::uint32_t slot);
+  /// The live request with this full id, or nullptr (finish() idempotence:
+  /// the full 64-bit id doubles as a generation check).
+  [[nodiscard]] Request* find_request(std::uint64_t id, std::uint32_t* out_slot);
+
+  // --- cohort arrival heap ------------------------------------------------
+  /// Draws the member's next arrival gap, reserves the seq the object
+  /// engine's schedule() would have consumed, and inserts into the heap.
+  void draw_next_arrival(std::uint32_t m);
+  void heap_insert(std::uint32_t m);
+  void heap_pop_min();
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  [[nodiscard]] bool heap_less(std::uint32_t a, std::uint32_t b) const {
+    return arr_when_[a] < arr_when_[b] ||
+           (arr_when_[a] == arr_when_[b] && arr_seq_[a] < arr_seq_[b]);
+  }
+  void arm_next();
+  void fire();
+
+  sim::EventLoop* loop_;
+  net::NodeId thinner_;
+  WorkloadParams params_;
+  std::uint32_t base_index_;
+  http::Message request_template_;  // interned kRequest header; id set per send
+  http::SessionPool session_pool_;
+
+  // Per-member parallel arrays (index = member id).
+  std::vector<transport::Host*> hosts_;
+  std::vector<util::RngStream> rngs_;
+  std::vector<std::unique_ptr<Strategy>> strategies_;
+  std::vector<ClientStats> stats_;
+  std::vector<std::uint32_t> next_seq_;
+  std::vector<std::uint8_t> paused_;
+  std::vector<BacklogRing> backlogs_;
+  std::vector<std::vector<std::uint32_t>> outstanding_;  // request slot ids
+
+  // Pending-arrival keys + indexed min-heap over members.
+  std::vector<SimTime> arr_when_;
+  std::vector<std::uint64_t> arr_seq_;
+  std::vector<std::uint32_t> heap_;      // member ids, heap-ordered
+  std::vector<std::uint32_t> heap_pos_;  // member -> index in heap_, or kNpos
+  sim::EventId armed_ev_;
+
+  // Request slab.
+  std::vector<std::unique_ptr<RawSlot[]>> chunks_;
+  std::vector<std::uint8_t> slot_live_;
+  std::vector<std::uint32_t> slot_gen_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_requests_ = 0;
+};
+
+}  // namespace speakup::client

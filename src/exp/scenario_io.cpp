@@ -281,6 +281,11 @@ ClientGroupSpec group_from_json(const json::Value& v, const std::string& ctx) {
       g.behind_bottleneck = bool_of(val, kctx);
     } else if (key == "via_proxy") {
       g.via_proxy = bool_of(val, kctx);
+    } else if (key == "engine") {
+      g.engine = str_of(val, kctx);
+      if (g.engine != "object" && g.engine != "pooled") {
+        fail(kctx, "engine must be \"object\" or \"pooled\", got \"" + g.engine + "\"");
+      }
     } else {
       fail(ctx, "unknown key \"" + key + "\"");
     }
@@ -653,6 +658,48 @@ ScenarioFile load_scenario_file(const std::string& path) {
   } catch (const ScenarioError& e) {
     throw ScenarioError(path + ": " + e.what());
   }
+}
+
+CapacityBenchSpec load_capacity_bench_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ScenarioError(path + ": cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  util::json::Value doc;
+  try {
+    doc = util::json::parse(buf.str());
+  } catch (const std::exception& e) {
+    throw ScenarioError(path + ": " + e.what());
+  }
+  const auto fail = [&](const std::string& what) {
+    throw ScenarioError(path + ": " + what);
+  };
+  if (!doc.is_object()) fail("top level must be a JSON object");
+  const util::json::Value* kind = doc.find("kind");
+  if (kind == nullptr || !kind->is_string() || kind->as_string() != "capacity_bench") {
+    fail("capacity_bench spec needs \"kind\": \"capacity_bench\"");
+  }
+  CapacityBenchSpec spec;
+  if (const util::json::Value* d = doc.find("description")) {
+    spec.description = d->as_string();
+  }
+  const util::json::Value* clients = doc.find("clients");
+  if (clients == nullptr || !clients->is_number() || clients->as_int() < 2) {
+    fail("capacity_bench spec needs \"clients\" >= 2 (one occupies the server, "
+         "the rest pay)");
+  }
+  spec.clients = static_cast<int>(clients->as_int());
+  const util::json::Value* sizes = doc.find("packet_bytes");
+  if (sizes == nullptr || !sizes->is_array() || sizes->as_array().empty()) {
+    fail("capacity_bench spec needs a non-empty \"packet_bytes\" array");
+  }
+  for (const util::json::Value& v : sizes->as_array()) {
+    const int bytes = static_cast<int>(v.as_int());
+    // A wire packet must fit headers (40 bytes) plus at least 1 payload byte.
+    if (bytes <= 40) fail("packet_bytes entries must exceed the 40-byte header");
+    spec.packet_bytes.push_back(bytes);
+  }
+  return spec;
 }
 
 std::vector<LabeledScenario> ScenarioFile::shard(int index, int count) const {

@@ -63,6 +63,17 @@ struct ScenarioFile {
 /// Reads and parses `path`. Errors are prefixed with the file name.
 [[nodiscard]] ScenarioFile load_scenario_file(const std::string& path);
 
+/// Parsed scenarios/tab1_capacity.json (kind "capacity_bench"): the grid
+/// for the thinner sink-rate benchmark (bench/tab1_thinner_capacity).
+struct CapacityBenchSpec {
+  std::string description;
+  int clients = 0;                 // concurrent payers against the thinner
+  std::vector<int> packet_bytes;   // wire packet sizes (payload = size - 40)
+};
+
+/// Reads and validates a capacity-bench grid file. Throws ScenarioError.
+[[nodiscard]] CapacityBenchSpec load_capacity_bench_file(const std::string& path);
+
 /// Strict companion to parse_defense_mode for config-file and CLI paths:
 /// returns `name` when it is a built-in mode or a registered
 /// core::FrontEndFactory defense, and otherwise throws std::invalid_argument

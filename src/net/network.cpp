@@ -20,27 +20,76 @@ Link& Network::connect(const Node& a, const Node& b, const LinkSpec& ab, const L
   return ref;
 }
 
+// Leaf-compressed shortest-path build. A degree-1 node (a client host, the
+// thinner, any stub) can never relay traffic, so its routing decision is
+// fixed: everything leaves over its single link. Only "core" nodes (degree
+// >= 2) need next-hop tables, and a BFS restricted to the core picks the
+// same parents the old full-graph BFS did — leaves discovered mid-BFS add
+// no new frontier, so the relative order of core nodes in the frontier is
+// unchanged, and with it every tie-break. With 10^5 access leaves and a
+// handful of switches this is O(N + C^2) instead of the old O(N^2) matrix.
 void Network::build_routes() {
   const std::size_t n = nodes_.size();
   adjacency_.resize(n);
-  next_hop_.assign(n, std::vector<NodeId>(n, kInvalidNode));
-  // BFS from every destination: next_hop_[v][dst] = parent-of-v on path to dst.
-  for (std::size_t dst = 0; dst < n; ++dst) {
-    std::vector<bool> seen(n, false);
-    std::deque<NodeId> frontier;
-    seen[dst] = true;
-    frontier.push_back(static_cast<NodeId>(dst));
-    next_hop_[dst][dst] = static_cast<NodeId>(dst);
+
+  gateway_.assign(n, kInvalidNode);
+  gateway_link_.assign(n, kNoLink);
+  core_index_.assign(n, -1);
+  core_nodes_.clear();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (adjacency_[v].size() == 1) {
+      gateway_[v] = adjacency_[v][0].first;
+      gateway_link_[v] = adjacency_[v][0].second;
+    } else if (adjacency_[v].size() >= 2) {
+      core_index_[v] = static_cast<std::int32_t>(core_nodes_.size());
+      core_nodes_.push_back(static_cast<NodeId>(v));
+    }
+  }
+
+  // Connected components over the full graph: the reachability check that
+  // the dense matrix used to encode as kInvalidNode entries.
+  component_.assign(n, -1);
+  std::int32_t comp = 0;
+  std::deque<NodeId> frontier;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (component_[start] != -1) continue;
+    component_[start] = comp;
+    frontier.push_back(static_cast<NodeId>(start));
     while (!frontier.empty()) {
       const NodeId u = frontier.front();
       frontier.pop_front();
       for (const auto& [v, link_idx] : adjacency_[static_cast<std::size_t>(u)]) {
         (void)link_idx;
-        if (!seen[static_cast<std::size_t>(v)]) {
-          seen[static_cast<std::size_t>(v)] = true;
-          next_hop_[static_cast<std::size_t>(v)][dst] = u;
+        if (component_[static_cast<std::size_t>(v)] == -1) {
+          component_[static_cast<std::size_t>(v)] = comp;
           frontier.push_back(v);
         }
+      }
+    }
+    ++comp;
+  }
+
+  // BFS from every core destination over the core-induced subgraph:
+  // core_next_hop_[v][dst] = parent-of-v on path to dst, with the link
+  // recorded so forwarding never scans an adjacency list.
+  const std::size_t c = core_nodes_.size();
+  core_next_hop_.assign(c * c, kInvalidNode);
+  core_next_link_.assign(c * c, kNoLink);
+  std::vector<bool> seen(c);
+  for (std::size_t dst_ci = 0; dst_ci < c; ++dst_ci) {
+    seen.assign(c, false);
+    seen[dst_ci] = true;
+    frontier.push_back(core_nodes_[dst_ci]);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const auto& [v, link_idx] : adjacency_[static_cast<std::size_t>(u)]) {
+        const std::int32_t v_ci = core_index_[static_cast<std::size_t>(v)];
+        if (v_ci < 0 || seen[static_cast<std::size_t>(v_ci)]) continue;
+        seen[static_cast<std::size_t>(v_ci)] = true;
+        core_next_hop_[static_cast<std::size_t>(v_ci) * c + dst_ci] = u;
+        core_next_link_[static_cast<std::size_t>(v_ci) * c + dst_ci] = link_idx;
+        frontier.push_back(v);
       }
     }
   }
@@ -50,14 +99,35 @@ void Network::build_routes() {
 void Network::forward(NodeId from, Packet p) {
   if (!routes_valid_) build_routes();
   SPEAKUP_ASSERT(p.dst != kInvalidNode);
-  const NodeId next = next_hop_[static_cast<std::size_t>(from)][static_cast<std::size_t>(p.dst)];
-  if (next == kInvalidNode || next == from) {
+  const auto from_i = static_cast<std::size_t>(from);
+  const auto dst_i = static_cast<std::size_t>(p.dst);
+  if (from == p.dst || component_[from_i] != component_[dst_i]) {
     ++unroutable_drops_;
     return;
   }
-  Link* link = link_between(from, next);
-  SPEAKUP_ASSERT(link != nullptr);
-  link->send(from, std::move(p));
+  // A leaf has exactly one way out (the component check above already
+  // guaranteed the destination is reachable through it).
+  if (gateway_[from_i] != kInvalidNode) {
+    links_[gateway_link_[from_i]]->send(from, std::move(p));
+    return;
+  }
+  // From core: route toward the destination itself, or — when the
+  // destination is a leaf — toward its gateway, with a direct final hop.
+  NodeId target = p.dst;
+  if (gateway_[dst_i] != kInvalidNode) {
+    if (gateway_[dst_i] == from) {
+      links_[gateway_link_[dst_i]]->send(from, std::move(p));
+      return;
+    }
+    target = gateway_[dst_i];
+  }
+  const std::int32_t from_ci = core_index_[from_i];
+  const std::int32_t target_ci = core_index_[static_cast<std::size_t>(target)];
+  SPEAKUP_ASSERT(from_ci >= 0 && target_ci >= 0);
+  const std::size_t cell = static_cast<std::size_t>(from_ci) * core_nodes_.size() +
+                           static_cast<std::size_t>(target_ci);
+  SPEAKUP_ASSERT(core_next_link_[cell] != kNoLink);
+  links_[core_next_link_[cell]]->send(from, std::move(p));
 }
 
 void Network::deliver(NodeId to, Packet p) { node(to).on_packet(std::move(p)); }

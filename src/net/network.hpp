@@ -68,13 +68,26 @@ class Network {
   [[nodiscard]] std::int64_t unroutable_drops() const { return unroutable_drops_; }
 
  private:
+  static constexpr std::size_t kNoLink = SIZE_MAX;
+
   sim::EventLoop* loop_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   // adjacency_[n] lists (neighbor, link index)
   std::vector<std::vector<std::pair<NodeId, std::size_t>>> adjacency_;
-  // next_hop_[from][dst] = neighbor on a shortest path, or kInvalidNode
-  std::vector<std::vector<NodeId>> next_hop_;
+  // Leaf-compressed routing state (see build_routes): degree-1 nodes route
+  // through their single neighbor; shortest-path tables cover core nodes
+  // only, so a 10^5-leaf access tree costs O(N + C^2) instead of O(N^2).
+  std::vector<NodeId> gateway_;            // leaf -> its single neighbor, else kInvalidNode
+  std::vector<std::size_t> gateway_link_;  // leaf -> its single link index
+  std::vector<std::int32_t> core_index_;   // node -> dense core index, or -1
+  std::vector<NodeId> core_nodes_;         // dense core index -> node
+  std::vector<std::int32_t> component_;    // connected-component id per node
+  // core_next_hop_[v_ci * C + dst_ci] = neighbor of v on a shortest core
+  // path toward dst (same BFS tie-breaks as the old full-matrix build);
+  // core_next_link_ carries the corresponding link index.
+  std::vector<NodeId> core_next_hop_;
+  std::vector<std::size_t> core_next_link_;
   bool routes_valid_ = false;
   std::int64_t unroutable_drops_ = 0;
 };

@@ -3,7 +3,7 @@
 // A scheduled callback in this simulator is almost always a tiny closure —
 // `[this]`, `[this, slot]`, a couple of references — yet std::function heap-
 // allocates anything bigger than its two-pointer SBO. EventFn stores the
-// callable inline in a fixed 64-byte buffer and refuses (at compile time)
+// callable inline in a fixed 32-byte buffer and refuses (at compile time)
 // anything larger, so EventLoop::schedule never touches the allocator. A
 // call site that genuinely needs a big capture can wrap it in a
 // shared_ptr/unique_ptr and capture the pointer — making the allocation
@@ -19,9 +19,11 @@ namespace speakup::sim {
 
 class EventFn {
  public:
-  /// Inline storage size. Sized for the largest hot-path closure (a Packet
-  /// plus a pointer) with headroom for test/bench lambdas.
-  static constexpr std::size_t kCapacity = 64;
+  /// Inline storage size. The audit (compile errors at every schedule site)
+  /// shows the whole tree's closures are <= 24 bytes — `[this]`,
+  /// `[this, slot]`, `[this, key]` — so 32 halves the event record versus
+  /// the previous 64 while still leaving one pointer of headroom.
+  static constexpr std::size_t kCapacity = 32;
 
   EventFn() = default;
 

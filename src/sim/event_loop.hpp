@@ -102,6 +102,33 @@ class EventLoop {
     return EventId{this, slot, rec.gen};
   }
 
+  /// Reserves the next position in the global tie-break order without
+  /// scheduling anything. A caller that *would have* scheduled an event here
+  /// — but wants to coalesce many logical deadlines into one armed event
+  /// (client::ClientPool batches one arrival deadline per cohort) — takes a
+  /// seq now and later files it with schedule_keyed. Seq consumption is
+  /// therefore identical to the unbatched code, which is what keeps batched
+  /// runs bit-identical to per-object runs.
+  [[nodiscard]] std::uint64_t reserve_seq() { return next_seq_++; }
+
+  /// Schedules `fn` at an absolute time under a previously reserved seq
+  /// (reserve_seq). The entry sorts exactly where an event scheduled at
+  /// reservation position would have sorted; no new seq is consumed. The
+  /// same reserved key may be re-filed after a cancel (re-arming a cohort
+  /// deadline): keys need only be unique among simultaneously filed entries,
+  /// which reservation order guarantees.
+  EventId schedule_keyed(SimTime when, std::uint64_t seq, EventFn fn) {
+    util::require(when >= now_, "EventLoop::schedule_keyed: time is before now");
+    SPEAKUP_ASSERT(seq < next_seq_);  // must come from reserve_seq
+    const std::uint32_t slot = acquire_slot();
+    Record& rec = slab_[slot];
+    rec.fn = std::move(fn);
+    rec.armed = true;
+    file_entry(when, seq, slot);
+    ++pending_;
+    return EventId{this, slot, rec.gen};
+  }
+
   /// Moves a still-pending event to a new deadline, keeping its callback.
   /// Exactly equivalent to cancel(id) + schedule(delay, <same callback>) —
   /// same generation bump, same (time, seq) ordering key, same slot-reuse
@@ -326,8 +353,14 @@ class EventLoop {
   /// deadline qualifies, else the heap. The single place the store-choice
   /// policy lives — schedule_at and reschedule must not diverge.
   void file_entry(SimTime when, std::uint32_t slot) {
+    file_entry(when, next_seq_++, slot);
+  }
+
+  /// Keyed variant: files under a caller-supplied (reserved) seq. Store
+  /// choice cannot affect firing order — the wheel only ever drains into
+  /// the heap, where entries re-sort by (when, seq).
+  void file_entry(SimTime when, std::uint64_t seq, std::uint32_t slot) {
     Record& rec = slab_[slot];
-    const std::uint64_t seq = next_seq_++;
     const std::uint32_t node =
         wheel_.insert(TimerWheel::Entry{when.ns(), seq, slot, rec.gen});
     rec.wheel_node = node;

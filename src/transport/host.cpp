@@ -4,6 +4,14 @@
 
 namespace speakup::transport {
 
+Host::~Host() {
+  for (std::uint32_t slot = 0; slot < states_.size(); ++slot) {
+    // A destroy event left pending would fire into a dead host.
+    if (states_[slot] == SlotState::kReleasing) loop().cancel(release_ev_[slot]);
+    if (states_[slot] != SlotState::kEmpty) conn_at(slot)->~TcpConnection();
+  }
+}
+
 TcpConnection& Host::connect(net::NodeId dst, std::uint32_t dst_port) {
   TcpConnection& conn = emplace_connection(alloc_port(), dst, dst_port, /*initiator=*/true);
   conn.start_handshake();
@@ -16,22 +24,104 @@ void Host::listen(std::uint32_t port, std::function<void(TcpConnection&)> on_acc
   listeners_[port] = std::move(on_accept);
 }
 
+std::uint32_t Host::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(states_.size());
+  if (slot % kChunk == 0) {
+    chunks_.push_back(std::make_unique<RawSlot[]>(kChunk));
+    // Reserve the whole chunk's metadata now: the slot high-water mark can
+    // rise mid-run (a deferred release overlapping an immediate reconnect),
+    // and that moment must not touch the allocator — only chunk boundaries
+    // may (the pooled engine's steady state stays allocation-free).
+    states_.reserve(chunks_.size() * kChunk);
+    release_ev_.reserve(chunks_.size() * kChunk);
+    free_.reserve(chunks_.size() * kChunk);
+  }
+  states_.push_back(SlotState::kEmpty);
+  release_ev_.emplace_back();
+  return slot;
+}
+
+std::size_t Host::find_index(std::uint32_t local_port, net::NodeId remote,
+                             std::uint32_t remote_port) const {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = key_hash(local_port, remote, remote_port) & mask;
+  for (;;) {
+    const TableEntry& e = table_[i];
+    if (e.slot == kNilSlot ||
+        (e.local_port == local_port && e.remote == remote && e.remote_port == remote_port)) {
+      return i;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void Host::table_grow() {
+  std::vector<TableEntry> old;
+  old.swap(table_);
+  table_.resize(old.empty() ? 16 : old.size() * 2);
+  for (const TableEntry& e : old) {
+    if (e.slot == kNilSlot) continue;
+    std::size_t i = probe_of(e);
+    const std::size_t mask = table_.size() - 1;
+    while (table_[i].slot != kNilSlot) i = (i + 1) & mask;
+    table_[i] = e;
+  }
+}
+
+void Host::table_insert(std::uint32_t local_port, net::NodeId remote,
+                        std::uint32_t remote_port, std::uint32_t slot) {
+  // Grow at ~70% load so probe runs stay short.
+  if (table_.empty() || (table_size_ + 1) * 10 > table_.size() * 7) table_grow();
+  const std::size_t i = find_index(local_port, remote, remote_port);
+  SPEAKUP_ASSERT(table_[i].slot == kNilSlot);
+  table_[i] = TableEntry{local_port, remote, remote_port, slot};
+  ++table_size_;
+}
+
+void Host::table_erase(std::uint32_t local_port, net::NodeId remote,
+                       std::uint32_t remote_port) {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = find_index(local_port, remote, remote_port);
+  SPEAKUP_ASSERT(table_[i].slot != kNilSlot);
+  table_[i].slot = kNilSlot;
+  --table_size_;
+  // Backward-shift deletion: re-seat any displaced entries in the cluster
+  // so lookups never need tombstones.
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask;
+    if (table_[j].slot == kNilSlot) return;
+    const std::size_t ideal = probe_of(table_[j]);
+    if (((j - ideal) & mask) >= ((j - i) & mask)) {
+      table_[i] = table_[j];
+      table_[j].slot = kNilSlot;
+      i = j;
+    }
+  }
+}
+
 TcpConnection& Host::emplace_connection(std::uint32_t local_port, net::NodeId remote,
                                         std::uint32_t remote_port, bool initiator) {
-  auto conn = std::make_unique<TcpConnection>(*this, local_port, remote, remote_port, tcp_cfg_,
-                                              initiator);
-  TcpConnection& ref = *conn;
-  const ConnKey key{local_port, remote, remote_port};
-  SPEAKUP_ASSERT(conns_.find(key) == conns_.end());
-  conns_[key] = std::move(conn);
+  SPEAKUP_ASSERT(find_connection(local_port, remote, remote_port) == nullptr);
+  const std::uint32_t slot = acquire_slot();
+  TcpConnection* conn = ::new (static_cast<void*>(chunks_[slot / kChunk][slot % kChunk].bytes))
+      TcpConnection(*this, local_port, remote, remote_port, tcp_cfg_, initiator);
+  states_[slot] = SlotState::kLive;
+  table_insert(local_port, remote, remote_port, slot);
   ++connections_created_;
-  return ref;
+  return *conn;
 }
 
 TcpConnection* Host::find_connection(std::uint32_t local_port, net::NodeId remote,
                                      std::uint32_t remote_port) const {
-  const auto it = conns_.find(ConnKey{local_port, remote, remote_port});
-  return it == conns_.end() ? nullptr : it->second.get();
+  if (table_.empty()) return nullptr;
+  const std::size_t i = find_index(local_port, remote, remote_port);
+  return table_[i].slot == kNilSlot ? nullptr : conn_at(table_[i].slot);
 }
 
 void Host::on_packet(net::Packet p) {
@@ -67,9 +157,22 @@ void Host::on_packet(net::Packet p) {
 
 void Host::release(TcpConnection* conn) {
   SPEAKUP_ASSERT(conn != nullptr && conn->closed());
-  const ConnKey key{conn->local_port(), conn->remote_node(), conn->remote_port()};
+  const std::size_t i =
+      find_index(conn->local_port(), conn->remote_node(), conn->remote_port());
+  SPEAKUP_ASSERT(table_[i].slot != kNilSlot && conn_at(table_[i].slot) == conn);
+  const std::uint32_t slot = table_[i].slot;
+  SPEAKUP_ASSERT(states_[slot] == SlotState::kLive);
+  states_[slot] = SlotState::kReleasing;
   // Deferred: the connection may be deep in its own call stack right now.
-  loop().schedule(Duration::zero(), [this, key] { conns_.erase(key); });
+  // The table entry stays until the event fires, exactly like the previous
+  // map-based teardown, so demux keeps finding the closed connection.
+  release_ev_[slot] = loop().schedule(Duration::zero(), [this, slot] {
+    TcpConnection* victim = conn_at(slot);
+    table_erase(victim->local_port(), victim->remote_node(), victim->remote_port());
+    victim->~TcpConnection();
+    states_[slot] = SlotState::kEmpty;
+    free_.push_back(slot);
+  });
 }
 
 }  // namespace speakup::transport

@@ -2,17 +2,27 @@
 // arriving packets to them. Hosts initiate connections (connect) and accept
 // them (listen). A packet that matches no connection and no listener is
 // answered with RST, which lets half-dead connections clean themselves up.
+//
+// Connections live in a chunked in-place slab addressed by dense slot ids
+// (stable addresses — the rest of the stack holds TcpConnection&), with an
+// open-addressing (local_port, remote, remote_port) -> slot table doing the
+// demux. Steady-state connect/teardown churn — one connection per request
+// and per payment POST at 10^5-client scale — reuses slots and probes a
+// flat array: no allocator traffic, no tree walks.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <new>
 #include <string>
-#include <tuple>
+#include <vector>
 
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "sim/event_loop.hpp"
 #include "transport/tcp_connection.hpp"
 
 namespace speakup::transport {
@@ -21,6 +31,8 @@ class Host : public net::Node {
  public:
   Host(net::Network& net, net::NodeId id, std::string name)
       : Node(net, id, std::move(name)) {}
+
+  ~Host() override;
 
   void set_tcp_config(const TcpConfig& cfg) { tcp_cfg_ = cfg; }
   [[nodiscard]] const TcpConfig& tcp_config() const { return tcp_cfg_; }
@@ -46,17 +58,72 @@ class Host : public net::Node {
 
   [[nodiscard]] sim::EventLoop& loop() const { return network().loop(); }
   [[nodiscard]] std::int64_t connections_created() const { return connections_created_; }
-  [[nodiscard]] std::size_t live_connections() const { return conns_.size(); }
+  [[nodiscard]] std::size_t live_connections() const { return table_size_; }
 
  private:
-  using ConnKey = std::tuple<std::uint32_t, net::NodeId, std::uint32_t>;
+  enum class SlotState : std::uint8_t { kEmpty, kLive, kReleasing };
+
+  /// Slab chunk size: client hosts hold a handful of live connections
+  /// (window + one payment channel), so chunks stay small to keep 10^5
+  /// hosts cheap; server-side hosts just grow more chunks.
+  static constexpr std::size_t kChunk = 8;
+  static constexpr std::uint32_t kNilSlot = UINT32_MAX;
+
+  struct alignas(TcpConnection) RawSlot {
+    std::byte bytes[sizeof(TcpConnection)];
+  };
+
+  /// One open-addressing table entry; slot == kNilSlot marks it empty.
+  struct TableEntry {
+    std::uint32_t local_port = 0;
+    net::NodeId remote = 0;
+    std::uint32_t remote_port = 0;
+    std::uint32_t slot = kNilSlot;
+  };
 
   TcpConnection& emplace_connection(std::uint32_t local_port, net::NodeId remote,
                                     std::uint32_t remote_port, bool initiator);
   std::uint32_t alloc_port() { return next_port_++; }
 
+  [[nodiscard]] TcpConnection* conn_at(std::uint32_t slot) const {
+    return std::launder(reinterpret_cast<TcpConnection*>(
+        const_cast<std::byte*>(chunks_[slot / kChunk][slot % kChunk].bytes)));
+  }
+
+  static std::uint64_t key_hash(std::uint32_t local_port, net::NodeId remote,
+                                std::uint32_t remote_port) {
+    std::uint64_t z = (static_cast<std::uint64_t>(local_port) << 32) ^
+                      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(remote)) << 16) ^
+                      remote_port;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  [[nodiscard]] std::size_t probe_of(const TableEntry& e) const {
+    return key_hash(e.local_port, e.remote, e.remote_port) & (table_.size() - 1);
+  }
+
+  /// Index of the entry for the key, or of the empty slot where it would
+  /// insert. Table must be non-empty.
+  [[nodiscard]] std::size_t find_index(std::uint32_t local_port, net::NodeId remote,
+                                       std::uint32_t remote_port) const;
+
+  void table_insert(std::uint32_t local_port, net::NodeId remote,
+                    std::uint32_t remote_port, std::uint32_t slot);
+  void table_erase(std::uint32_t local_port, net::NodeId remote,
+                   std::uint32_t remote_port);
+  void table_grow();
+
+  std::uint32_t acquire_slot();
+
   TcpConfig tcp_cfg_;
-  std::map<ConnKey, std::unique_ptr<TcpConnection>> conns_;
+  std::vector<std::unique_ptr<RawSlot[]>> chunks_;
+  std::vector<SlotState> states_;      // indexed by slot
+  std::vector<sim::EventId> release_ev_;  // pending destroy event per slot
+  std::vector<std::uint32_t> free_;
+  std::vector<TableEntry> table_;      // power-of-two open addressing
+  std::size_t table_size_ = 0;
   std::map<std::uint32_t, std::function<void(TcpConnection&)>> listeners_;
   std::uint32_t next_port_ = 1024;
   std::int64_t connections_created_ = 0;

@@ -19,9 +19,19 @@ namespace speakup::util {
   std::abort();
 }
 
-/// Throws std::invalid_argument with `what` unless `ok`.
+[[noreturn]] inline void require_fail(const char* what) {
+  throw std::invalid_argument(std::string("speakup: ") + what);
+}
+
+/// Throws std::invalid_argument with `what` unless `ok`. The message is a
+/// `const char*` (not std::string) so the success path — which includes
+/// every EventLoop::schedule — never materializes a temporary string; the
+/// allocation happens only inside the cold throwing helper.
+inline void require(bool ok, const char* what) {
+  if (!ok) require_fail(what);
+}
 inline void require(bool ok, const std::string& what) {
-  if (!ok) throw std::invalid_argument("speakup: " + what);
+  if (!ok) require_fail(what.c_str());
 }
 
 }  // namespace speakup::util

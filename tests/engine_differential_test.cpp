@@ -1,0 +1,79 @@
+// The pooled-engine equivalence contract: for every checked-in scenario,
+// running every client group on client::ClientPool produces an
+// ExperimentResult fingerprint IDENTICAL to the per-object WorkloadClient
+// engine — same counters, same sample moments, same events_executed. The
+// pool is not "statistically equivalent", it replays the exact event
+// sequence (see client_pool.hpp for the reserve_seq/schedule_keyed
+// argument); any divergence, even a reordered event, trips this test.
+//
+// Skipped files: tournament_small.json (a tournament spec, not a scenario
+// file), abl5.json / tab1_capacity.json (bench grids, not scenarios), and
+// million_clients.json (the pooled-engine showcase — too big to run twice
+// here; CI runs it pooled-only).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "exp/scenario_io.hpp"
+
+namespace speakup::exp {
+namespace {
+
+std::string hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+ScenarioConfig pooled(ScenarioConfig cfg) {
+  for (ClientGroupSpec& g : cfg.groups) g.engine = "pooled";
+  return cfg;
+}
+
+void expect_engines_identical(const std::string& file_name) {
+  const ScenarioFile file =
+      load_scenario_file(std::string(SPEAKUP_SCENARIO_DIR) + "/" + file_name);
+  ASSERT_FALSE(file.scenarios.empty()) << file_name;
+  for (const LabeledScenario& s : file.scenarios) {
+    const ExperimentResult object_r = run_scenario(s.config);
+    const ExperimentResult pooled_r = run_scenario(pooled(s.config));
+    EXPECT_EQ(hex(object_r.fingerprint()), hex(pooled_r.fingerprint()))
+        << file_name << " '" << s.label << "': pooled engine diverged (object events="
+        << object_r.events_executed << ", pooled events=" << pooled_r.events_executed << ")";
+  }
+}
+
+TEST(EngineDifferential, Smoke) { expect_engines_identical("smoke.json"); }
+TEST(EngineDifferential, Fig2) { expect_engines_identical("fig2.json"); }
+TEST(EngineDifferential, Fig3) { expect_engines_identical("fig3.json"); }
+TEST(EngineDifferential, Fig4) { expect_engines_identical("fig4.json"); }
+TEST(EngineDifferential, Fig5) { expect_engines_identical("fig5.json"); }
+TEST(EngineDifferential, Fig6) { expect_engines_identical("fig6.json"); }
+TEST(EngineDifferential, Fig7) { expect_engines_identical("fig7.json"); }
+TEST(EngineDifferential, Tab1) { expect_engines_identical("tab1.json"); }
+TEST(EngineDifferential, Abl1) { expect_engines_identical("abl1.json"); }
+TEST(EngineDifferential, Abl3) { expect_engines_identical("abl3.json"); }
+TEST(EngineDifferential, Abl4) { expect_engines_identical("abl4.json"); }
+TEST(EngineDifferential, Sec74) { expect_engines_identical("sec7_4.json"); }
+TEST(EngineDifferential, Lossy) { expect_engines_identical("lossy.json"); }
+TEST(EngineDifferential, SharedBottleneck) {
+  expect_engines_identical("shared_bottleneck.json");
+}
+TEST(EngineDifferential, AdversaryOnOff) {
+  expect_engines_identical("adversary_onoff.json");
+}
+TEST(EngineDifferential, AdversaryDefector) {
+  expect_engines_identical("adversary_defector.json");
+}
+TEST(EngineDifferential, AdversaryAdaptive) {
+  expect_engines_identical("adversary_adaptive.json");
+}
+TEST(EngineDifferential, AdversaryFlashCrowd) {
+  expect_engines_identical("adversary_flashcrowd.json");
+}
+
+}  // namespace
+}  // namespace speakup::exp

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "client/strategy.hpp"
+#include "core/auction_game.hpp"
 #include "core/front_end_factory.hpp"
 #include "exp/dispatch.hpp"
 #include "exp/result_writer.hpp"
@@ -590,6 +591,42 @@ int cmd_validate(const std::vector<std::string>& args) {
       parsed = true;
     } catch (const std::exception&) {
       // Not JSON at all: fall through so load_scenario_file reports it.
+    }
+    // Grid-spec files carry a discriminating "kind" key: auction-game
+    // grids (bench/abl5_theorem31_bound) and capacity-bench grids
+    // (bench/tab1_thinner_capacity) validate through their own loaders.
+    if (parsed && doc.is_object() && doc.find("kind") != nullptr) {
+      const std::string& kind = doc.find("kind")->as_string();
+      if (kind == "auction_game") {
+        const core::AuctionGameSpec spec = core::load_auction_game_file(args[0]);
+        std::printf("%s: OK, auction-game grid — %zu eps x %zu delta x %zu "
+                    "adversary = %zu cell(s)\n",
+                    args[0].c_str(), spec.eps.size(), spec.delta.size(),
+                    spec.adversaries.size(),
+                    spec.eps.size() * spec.delta.size() * spec.adversaries.size());
+        if (!spec.description.empty()) {
+          std::printf("description: %s\n", spec.description.c_str());
+        }
+        for (const std::string& name : spec.adversaries) {
+          std::printf("  adversary %s\n", name.c_str());
+        }
+        return 0;
+      }
+      if (kind == "capacity_bench") {
+        const exp::CapacityBenchSpec spec = exp::load_capacity_bench_file(args[0]);
+        std::printf("%s: OK, capacity-bench grid — %d client(s), %zu packet "
+                    "size(s)\n",
+                    args[0].c_str(), spec.clients, spec.packet_bytes.size());
+        if (!spec.description.empty()) {
+          std::printf("description: %s\n", spec.description.c_str());
+        }
+        for (const int bytes : spec.packet_bytes) {
+          std::printf("  packet_bytes %d\n", bytes);
+        }
+        return 0;
+      }
+      throw std::runtime_error(args[0] + ": unknown spec \"kind\": \"" + kind +
+                               "\" (known: auction_game, capacity_bench)");
     }
     if (parsed && doc.is_object() && doc.find("base") != nullptr) {
       const exp::TournamentSpec spec = exp::load_tournament_spec(args[0]);
