@@ -76,7 +76,79 @@ int ClientPool::current_window(std::uint32_t m) {
 void ClientPool::start_all() {
   for (std::uint32_t m = 0; m < hosts_.size(); ++m) draw_next_arrival(m);
   arm_next();
+  SPEAKUP_AUDIT_ONLY(audit();)
 }
+
+#if SPEAKUP_AUDIT_ENABLED
+void ClientPool::audit() const {
+  const std::size_t n = hosts_.size();
+  SPEAKUP_AUDIT_CHECK(rngs_.size() == n && strategies_.size() == n && stats_.size() == n &&
+                          next_seq_.size() == n && paused_.size() == n &&
+                          backlogs_.size() == n && outstanding_.size() == n &&
+                          arr_when_.size() == n && arr_seq_.size() == n &&
+                          heap_pos_.size() == n,
+                      "ClientPool: per-member parallel arrays must stay aligned");
+  // Cohort heap: binary min-heap over (arr_when_, arr_seq_), heap_pos_ the
+  // exact inverse of heap_, members appearing at most once.
+  SPEAKUP_AUDIT_CHECK(heap_.size() <= n, "ClientPool: heap larger than the member count");
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const std::uint32_t m = heap_[i];
+    SPEAKUP_AUDIT_CHECK(m < n, "ClientPool: heap member id out of range");
+    SPEAKUP_AUDIT_CHECK(heap_pos_[m] == i, "ClientPool: heap_pos_ must invert heap_");
+    if (i > 0) {
+      SPEAKUP_AUDIT_CHECK(!heap_less(m, heap_[(i - 1) / 2]),
+                          "ClientPool: cohort min-heap property violated");
+    }
+  }
+  std::size_t heaped = 0;
+  for (std::uint32_t m = 0; m < n; ++m) {
+    if (heap_pos_[m] == kNpos) continue;
+    ++heaped;
+    SPEAKUP_AUDIT_CHECK(heap_pos_[m] < heap_.size() && heap_[heap_pos_[m]] == m,
+                        "ClientPool: member's heap_pos_ must point at its heap entry");
+  }
+  SPEAKUP_AUDIT_CHECK(heaped == heap_.size(),
+                      "ClientPool: every heap entry owned by exactly one member");
+  // The armed cohort event exists iff an arrival is pending, and it is
+  // filed under the heap minimum's reserved key.
+  SPEAKUP_AUDIT_CHECK(armed_ev_.pending() == !heap_.empty(),
+                      "ClientPool: armed event must track heap emptiness");
+  // Request slab: live flags count live_requests_, free list covers exactly
+  // the dead slots, and outstanding lists hold live slots of their member.
+  std::size_t live = 0;
+  for (const std::uint8_t l : slot_live_) live += l;
+  SPEAKUP_AUDIT_CHECK(live == live_requests_,
+                      "ClientPool: live_requests_ must count the live slots");
+  std::vector<std::uint8_t> freed(slot_live_.size(), 0);
+  for (const std::uint32_t slot : free_slots_) {
+    SPEAKUP_AUDIT_CHECK(slot < slot_live_.size(), "ClientPool: free slot out of range");
+    SPEAKUP_AUDIT_CHECK(!slot_live_[slot], "ClientPool: free-listed slot must be dead");
+    SPEAKUP_AUDIT_CHECK(!freed[slot], "ClientPool: slot free-listed more than once");
+    freed[slot] = 1;
+  }
+  SPEAKUP_AUDIT_CHECK(free_slots_.size() + live == slot_live_.size(),
+                      "ClientPool: every slot is either live or free-listed");
+  std::size_t outstanding_total = 0;
+  for (std::uint32_t m = 0; m < n; ++m) {
+    for (const std::uint32_t slot : outstanding_[m]) {
+      ++outstanding_total;
+      SPEAKUP_AUDIT_CHECK(slot < slot_live_.size() && slot_live_[slot],
+                          "ClientPool: outstanding entry must reference a live slot");
+      // request_at is non-const only because of std::launder plumbing; the
+      // audit only reads.
+      const Request* r = const_cast<ClientPool*>(this)->request_at(slot);
+      SPEAKUP_AUDIT_CHECK(r->member == m,
+                          "ClientPool: outstanding slot must belong to its member");
+    }
+  }
+  SPEAKUP_AUDIT_CHECK(outstanding_total == live_requests_,
+                      "ClientPool: every live request is outstanding for exactly one member");
+}
+
+void ClientPool::corrupt_heap_for_test() {
+  if (heap_.size() >= 2) std::swap(heap_pos_[heap_[0]], heap_pos_[heap_[1]]);
+}
+#endif
 
 void ClientPool::draw_next_arrival(std::uint32_t m) {
   const Duration gap = strategies_[m]->next_arrival(rngs_[m], view(m));
@@ -97,6 +169,10 @@ void ClientPool::fire() {
   heap_pop_min();
   on_arrival(m);
   arm_next();
+  SPEAKUP_AUDIT_ONLY(if (--audit_countdown_ == 0) {
+    audit_countdown_ = kAuditPeriod;
+    audit();
+  })
 }
 
 void ClientPool::on_arrival(std::uint32_t m) {

@@ -50,6 +50,7 @@
 #include "sim/event_loop.hpp"
 #include "sim/timer.hpp"
 #include "transport/host.hpp"
+#include "util/audit.hpp"
 #include "util/rng.hpp"
 
 namespace speakup::client {
@@ -99,6 +100,18 @@ class ClientPool {
     return slot_gen_[slot];
   }
   [[nodiscard]] std::size_t live_requests() const { return live_requests_; }
+
+#if SPEAKUP_AUDIT_ENABLED
+  /// Structural audit (SPEAKUP_AUDIT builds only): parallel member arrays
+  /// aligned, cohort min-heap property + heap_pos_ inverse mapping, armed
+  /// event agreement with the heap minimum, request-slab accounting, and
+  /// outstanding lists holding exactly the live slots of their member.
+  /// Runs every kAuditPeriod cohort fires (plus at start_all).
+  void audit() const;
+  /// Deliberate corruption for tests/audit_test.cpp: desyncs the heap_pos_
+  /// inverse map — the signature of a missed swap during sift.
+  void corrupt_heap_for_test();
+#endif
 
  private:
   struct Request {
@@ -225,6 +238,11 @@ class ClientPool {
   std::vector<std::uint32_t> slot_gen_;
   std::vector<std::uint32_t> free_slots_;
   std::size_t live_requests_ = 0;
+
+#if SPEAKUP_AUDIT_ENABLED
+  static constexpr std::uint64_t kAuditPeriod = 256;
+  std::uint64_t audit_countdown_ = kAuditPeriod;
+#endif
 };
 
 }  // namespace speakup::client

@@ -28,6 +28,9 @@
 //     they reach the top, and the heap is compacted whenever tombstones
 //     exceed half its size. Wheel cancellation unlinks eagerly and leaves
 //     no tombstone at all.
+//
+// speakup-lint: hot-path (allocation-free steady state; growth sites must
+// be amortized and allowlisted in tools/lint_allowlist.txt)
 #pragma once
 
 #include <cstdint>
@@ -36,6 +39,7 @@
 #include "sim/event_fn.hpp"
 #include "sim/timer_wheel.hpp"
 #include "util/assert.hpp"
+#include "util/audit.hpp"
 #include "util/units.hpp"
 
 namespace speakup::obs {
@@ -141,13 +145,18 @@ class EventLoop {
     const SimTime when = saturated_deadline(delay);
     Record& rec = slab_[id.slot_];
     ++rec.gen;  // old handles (and any old heap entry) are now stale
+    bool tombstoned = false;
     if (rec.wheel_node != TimerWheel::kNil) {
       wheel_.remove(rec.wheel_node);
     } else {
       ++tombstones_;
-      maybe_compact();
+      tombstoned = true;
     }
     file_entry(when, id.slot_);
+    // Compact only after the record is re-filed: maybe_compact runs a full
+    // audit in SPEAKUP_AUDIT builds, and between the gen bump and file_entry
+    // the armed record is resident in neither store.
+    if (tombstoned) maybe_compact();
     return EventId{this, id.slot_, rec.gen};
   }
 
@@ -235,6 +244,69 @@ class EventLoop {
     sample_ctx_ = nullptr;
     next_sample_ns_ = INT64_MAX;
   }
+
+#if SPEAKUP_AUDIT_ENABLED
+  /// Full structural audit (SPEAKUP_AUDIT builds only): 4-ary heap property,
+  /// tombstone accounting, slab/free-list consistency, heap-vs-wheel
+  /// residency cross-checks, and the wheel's own audit. Runs automatically
+  /// every kAuditPeriod fired events and after each compaction; tests may
+  /// call it at any quiescent point (not from inside a callback — a firing
+  /// event's slot is released before its callback runs).
+  void audit() const {
+    // 4-ary heap property over the (when, seq) total order.
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      SPEAKUP_AUDIT_CHECK(!earlier(heap_[i], heap_[(i - 1) >> 2]),
+                          "EventLoop: 4-ary heap property violated");
+    }
+    // Tombstone accounting, and no event resident in both stores.
+    std::size_t live_heap = 0;
+    for (const HeapEntry& e : heap_) {
+      SPEAKUP_AUDIT_CHECK(e.slot < slab_.size(), "EventLoop: heap entry slot out of range");
+      if (live(e)) {
+        ++live_heap;
+        SPEAKUP_AUDIT_CHECK(slab_[e.slot].wheel_node == TimerWheel::kNil,
+                            "EventLoop: live heap entry must not also be wheel-resident");
+      }
+    }
+    SPEAKUP_AUDIT_CHECK(heap_.size() - live_heap == tombstones_,
+                        "EventLoop: tombstones_ must count the dead heap entries");
+    // Slab: armed records are exactly the pending events, and an armed
+    // record's wheel handle (when present) points to a linked node filed
+    // under this (slot, generation).
+    std::size_t armed = 0;
+    for (std::uint32_t s = 0; s < slab_.size(); ++s) {
+      const Record& rec = slab_[s];
+      if (!rec.armed) continue;
+      ++armed;
+      if (rec.wheel_node != TimerWheel::kNil) {
+        SPEAKUP_AUDIT_CHECK(wheel_.audit_node(rec.wheel_node, s, rec.gen),
+                            "EventLoop: armed record's wheel node must link back to it");
+      }
+    }
+    SPEAKUP_AUDIT_CHECK(armed == pending_, "EventLoop: pending_ must count the armed records");
+    SPEAKUP_AUDIT_CHECK(live_heap + wheel_.size() == pending_,
+                        "EventLoop: every pending event lives in exactly one store");
+    // Free list: in range, unarmed, acyclic, and together with the armed
+    // records it covers the whole slab.
+    std::size_t free_len = 0;
+    for (std::uint32_t s = free_head_; s != kNilSlot; s = slab_[s].next_free) {
+      SPEAKUP_AUDIT_CHECK(s < slab_.size(), "EventLoop: free-list slot out of range");
+      SPEAKUP_AUDIT_CHECK(!slab_[s].armed, "EventLoop: free-list slot must be unarmed");
+      ++free_len;
+      SPEAKUP_AUDIT_CHECK(free_len <= slab_.size(), "EventLoop: free-list cycle");
+    }
+    SPEAKUP_AUDIT_CHECK(armed + free_len == slab_.size(),
+                        "EventLoop: every slab slot is either armed or on the free list");
+    wheel_.audit();
+  }
+
+  /// Deliberate corruption hooks for tests/audit_test.cpp: prove the audit
+  /// actually detects faults, not just that clean runs stay quiet.
+  void corrupt_heap_for_test() {
+    if (!heap_.empty()) heap_.back().when_ns = -1;
+  }
+  void corrupt_wheel_for_test() { wheel_.corrupt_bitmap_for_test(); }
+#endif
 
  private:
   friend class EventId;
@@ -441,6 +513,10 @@ class EventLoop {
       next_sample_ns_ = sample_hook_(sample_ctx_, top.when_ns);
     }
     fn();
+    SPEAKUP_AUDIT_ONLY(if (--audit_countdown_ == 0) {
+      audit_countdown_ = kAuditPeriod;
+      audit();
+    })
     return true;
   }
 
@@ -456,6 +532,7 @@ class EventLoop {
     heap_.resize(kept);
     heap_rebuild();
     tombstones_ = 0;
+    SPEAKUP_AUDIT_ONLY(audit();)
   }
 
   SimTime now_;
@@ -471,6 +548,12 @@ class EventLoop {
   SampleHook sample_hook_ = nullptr;
   void* sample_ctx_ = nullptr;
   std::int64_t next_sample_ns_ = INT64_MAX;
+#if SPEAKUP_AUDIT_ENABLED
+  /// Amortization: a full audit is O(slab + heap + wheel), so it runs once
+  /// per this many fired events (plus after every compaction).
+  static constexpr std::uint64_t kAuditPeriod = 1024;
+  std::uint64_t audit_countdown_ = kAuditPeriod;
+#endif
 };
 
 inline bool EventId::pending() const {

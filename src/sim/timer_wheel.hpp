@@ -26,6 +26,9 @@
 //
 // Nodes live in a slab recycled through a free list: steady-state insert /
 // remove / drain perform zero heap allocations.
+//
+// speakup-lint: hot-path (allocation-free steady state; growth sites must
+// be amortized and allowlisted in tools/lint_allowlist.txt)
 #pragma once
 
 #include <bit>
@@ -33,6 +36,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/audit.hpp"
 
 namespace speakup::sim {
 
@@ -177,6 +181,62 @@ class TimerWheel {
 
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::size_t size() const { return size_; }
+
+#if SPEAKUP_AUDIT_ENABLED
+  /// Cross-check for EventLoop::audit(): `node` must be a linked node whose
+  /// entry addresses slab slot `slab_slot` at generation `gen`.
+  [[nodiscard]] bool audit_node(std::uint32_t node, std::uint32_t slab_slot,
+                                std::uint32_t gen) const {
+    return node < pool_.size() && pool_[node].linked &&
+           pool_[node].entry.slot == slab_slot && pool_[node].entry.gen == gen;
+  }
+
+  /// Full structural audit (SPEAKUP_AUDIT builds only): occupancy bitmap vs
+  /// slot lists, doubly-linked-list symmetry, per-node level/slot placement,
+  /// deadline-ahead-of-clock, node count vs size_, hint soundness.
+  void audit() const {
+    std::size_t counted = 0;
+    std::int64_t min_start_ns = INT64_MAX;
+    for (int level = 0; level < kLevels; ++level) {
+      for (int slot = 0; slot < kSlotsPerLevel; ++slot) {
+        const bool bit = ((bitmap_[level] >> slot) & 1) != 0;
+        const std::uint32_t head = heads_[level][slot];
+        SPEAKUP_AUDIT_CHECK(bit == (head != kNil),
+                            "TimerWheel: occupancy bitmap must agree with the slot lists");
+        std::uint32_t prev = kNil;
+        for (std::uint32_t n = head; n != kNil; n = pool_[n].next) {
+          SPEAKUP_AUDIT_CHECK(n < pool_.size(), "TimerWheel: node handle out of range");
+          const Node& nd = pool_[n];
+          SPEAKUP_AUDIT_CHECK(nd.linked, "TimerWheel: listed node must be marked linked");
+          SPEAKUP_AUDIT_CHECK(nd.level == level && nd.slot == slot,
+                              "TimerWheel: node's recorded level/slot must match its list");
+          SPEAKUP_AUDIT_CHECK(nd.prev == prev, "TimerWheel: prev/next links must be symmetric");
+          // >= not >: insert() requires a strictly-future tick, but a
+          // coarse-slot drain sets cur_tick_ to the slot's START, and a
+          // level-0 slot holding exactly that tick may stay resident when
+          // poll() returns early on its threshold.
+          SPEAKUP_AUDIT_CHECK((nd.entry.when_ns >> kTickBits) >= cur_tick_,
+                              "TimerWheel: resident deadline must not be behind the wheel clock");
+          ++counted;
+          SPEAKUP_AUDIT_CHECK(counted <= size_,
+                              "TimerWheel: slot list cycle (more linked nodes than size_)");
+          prev = n;
+        }
+        if (head != kNil) {
+          const std::int64_t start_ns = slot_start_tick(level, slot) << kTickBits;
+          if (start_ns < min_start_ns) min_start_ns = start_ns;
+        }
+      }
+    }
+    SPEAKUP_AUDIT_CHECK(counted == size_, "TimerWheel: size_ must count the linked nodes");
+    SPEAKUP_AUDIT_CHECK(lb_hint_ns_ <= min_start_ns,
+                        "TimerWheel: lower-bound hint must never exceed the true bound");
+  }
+
+  /// Deliberate corruption for tests/audit_test.cpp: raises an occupancy
+  /// bit with no list behind it — the signature of a lost unlink.
+  void corrupt_bitmap_for_test() { bitmap_[kLevels - 1] |= 1; }
+#endif
 
  private:
   struct Node {

@@ -1,3 +1,5 @@
+// speakup-lint: hot-path (allocation-free steady state; growth sites must
+// be amortized and allowlisted in tools/lint_allowlist.txt)
 #include "transport/host.hpp"
 
 #include "util/log.hpp"
@@ -81,6 +83,7 @@ void Host::table_insert(std::uint32_t local_port, net::NodeId remote,
   SPEAKUP_ASSERT(table_[i].slot == kNilSlot);
   table_[i] = TableEntry{local_port, remote, remote_port, slot};
   ++table_size_;
+  SPEAKUP_AUDIT_ONLY(maybe_audit();)
 }
 
 void Host::table_erase(std::uint32_t local_port, net::NodeId remote,
@@ -95,7 +98,7 @@ void Host::table_erase(std::uint32_t local_port, net::NodeId remote,
   std::size_t j = i;
   for (;;) {
     j = (j + 1) & mask;
-    if (table_[j].slot == kNilSlot) return;
+    if (table_[j].slot == kNilSlot) break;
     const std::size_t ideal = probe_of(table_[j]);
     if (((j - ideal) & mask) >= ((j - i) & mask)) {
       table_[i] = table_[j];
@@ -104,6 +107,71 @@ void Host::table_erase(std::uint32_t local_port, net::NodeId remote,
     }
   }
 }
+
+#if SPEAKUP_AUDIT_ENABLED
+void Host::audit() const {
+  SPEAKUP_AUDIT_CHECK(table_.empty() || (table_.size() & (table_.size() - 1)) == 0,
+                      "Host: demux table size must be a power of two");
+  std::vector<std::uint8_t> tabled(states_.size(), 0);
+  std::size_t occupied = 0;
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    const TableEntry& e = table_[i];
+    if (e.slot == kNilSlot) continue;
+    ++occupied;
+    SPEAKUP_AUDIT_CHECK(e.slot < states_.size(), "Host: table entry slot out of range");
+    SPEAKUP_AUDIT_CHECK(states_[e.slot] != SlotState::kEmpty,
+                        "Host: table entry must point at a constructed connection");
+    SPEAKUP_AUDIT_CHECK(!tabled[e.slot], "Host: slot tabled more than once");
+    tabled[e.slot] = 1;
+    // Probe-chain reachability: a lookup starting at the key's home bucket
+    // must land on this very entry (backward-shift deletion's contract).
+    SPEAKUP_AUDIT_CHECK(find_index(e.local_port, e.remote, e.remote_port) == i,
+                        "Host: table entry unreachable from its home probe");
+    const TcpConnection* conn = conn_at(e.slot);
+    SPEAKUP_AUDIT_CHECK(conn->local_port() == e.local_port && conn->remote_node() == e.remote &&
+                            conn->remote_port() == e.remote_port,
+                        "Host: table key must match the connection's endpoints");
+  }
+  SPEAKUP_AUDIT_CHECK(occupied == table_size_,
+                      "Host: table_size_ must count the occupied entries");
+  std::size_t empty_slots = 0;
+  for (std::uint32_t slot = 0; slot < states_.size(); ++slot) {
+    switch (states_[slot]) {
+      case SlotState::kEmpty:
+        ++empty_slots;
+        SPEAKUP_AUDIT_CHECK(!tabled[slot], "Host: empty slot must not be tabled");
+        break;
+      case SlotState::kLive:
+        SPEAKUP_AUDIT_CHECK(tabled[slot], "Host: live slot must be tabled");
+        break;
+      case SlotState::kReleasing:
+        SPEAKUP_AUDIT_CHECK(tabled[slot], "Host: releasing slot stays tabled until destroyed");
+        SPEAKUP_AUDIT_CHECK(release_ev_[slot].pending(),
+                            "Host: releasing slot must hold a pending destroy event");
+        break;
+    }
+  }
+  std::vector<std::uint8_t> freed(states_.size(), 0);
+  for (const std::uint32_t slot : free_) {
+    SPEAKUP_AUDIT_CHECK(slot < states_.size(), "Host: free-list slot out of range");
+    SPEAKUP_AUDIT_CHECK(states_[slot] == SlotState::kEmpty, "Host: free-list slot must be empty");
+    SPEAKUP_AUDIT_CHECK(!freed[slot], "Host: slot freed more than once");
+    freed[slot] = 1;
+  }
+  SPEAKUP_AUDIT_CHECK(free_.size() == empty_slots,
+                      "Host: free list must cover exactly the empty slots");
+}
+
+void Host::corrupt_table_for_test() {
+  for (TableEntry& e : table_) {
+    if (e.slot != kNilSlot) {
+      e.slot = kNilSlot;
+      --table_size_;
+      return;
+    }
+  }
+}
+#endif
 
 TcpConnection& Host::emplace_connection(std::uint32_t local_port, net::NodeId remote,
                                         std::uint32_t remote_port, bool initiator) {
@@ -172,6 +240,7 @@ void Host::release(TcpConnection* conn) {
     victim->~TcpConnection();
     states_[slot] = SlotState::kEmpty;
     free_.push_back(slot);
+    SPEAKUP_AUDIT_ONLY(maybe_audit();)
   });
 }
 

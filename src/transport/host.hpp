@@ -24,6 +24,7 @@
 #include "net/node.hpp"
 #include "sim/event_loop.hpp"
 #include "transport/tcp_connection.hpp"
+#include "util/audit.hpp"
 
 namespace speakup::transport {
 
@@ -59,6 +60,18 @@ class Host : public net::Node {
   [[nodiscard]] sim::EventLoop& loop() const { return network().loop(); }
   [[nodiscard]] std::int64_t connections_created() const { return connections_created_; }
   [[nodiscard]] std::size_t live_connections() const { return table_size_; }
+
+#if SPEAKUP_AUDIT_ENABLED
+  /// Structural audit (SPEAKUP_AUDIT builds only): demux-table vs slot-state
+  /// agreement — every table entry reachable from its home probe and backed
+  /// by a constructed connection, every non-empty slot tabled exactly once,
+  /// free list covering exactly the empty slots, releasing slots holding a
+  /// pending destroy event. Runs every kAuditPeriod table mutations.
+  void audit() const;
+  /// Deliberate corruption for tests/audit_test.cpp: drops one live table
+  /// entry without releasing its slot — the signature of a lost erase.
+  void corrupt_table_for_test();
+#endif
 
  private:
   enum class SlotState : std::uint8_t { kEmpty, kLive, kReleasing };
@@ -127,6 +140,16 @@ class Host : public net::Node {
   std::map<std::uint32_t, std::function<void(TcpConnection&)>> listeners_;
   std::uint32_t next_port_ = 1024;
   std::int64_t connections_created_ = 0;
+#if SPEAKUP_AUDIT_ENABLED
+  static constexpr std::uint64_t kAuditPeriod = 64;
+  std::uint64_t audit_countdown_ = kAuditPeriod;
+  void maybe_audit() {
+    if (--audit_countdown_ == 0) {
+      audit_countdown_ = kAuditPeriod;
+      audit();
+    }
+  }
+#endif
 };
 
 }  // namespace speakup::transport

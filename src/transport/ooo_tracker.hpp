@@ -15,6 +15,9 @@
 // reference implementation by randomized_property_test): intervals are
 // half-open [begin, end), disjoint, sorted, and *touching intervals merge*
 // — inserting [5,10) into {[10,20)} yields {[5,20)}.
+//
+// speakup-lint: hot-path (allocation-free steady state; growth sites must
+// be amortized and allowlisted in tools/lint_allowlist.txt)
 #pragma once
 
 #include <cstdint>
@@ -22,6 +25,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/audit.hpp"
 
 namespace speakup::transport {
 
@@ -68,6 +72,7 @@ class OooTracker {
       size_ -= last - first - 1;
     }
     data_[first] = Interval{begin, merged_end};
+    SPEAKUP_AUDIT_ONLY(audit();)
   }
 
   /// Advances `floor` over the contiguous prefix: while the lowest interval
@@ -84,6 +89,7 @@ class OooTracker {
       std::memmove(data_, data_ + drop, (size_ - drop) * sizeof(Interval));
       size_ -= drop;
     }
+    SPEAKUP_AUDIT_ONLY(audit();)
     return floor;
   }
 
@@ -93,6 +99,27 @@ class OooTracker {
   [[nodiscard]] const Interval* data() const { return data_; }
   /// Whether the tracker has ever spilled out of its inline storage.
   [[nodiscard]] bool spilled() const { return data_ != inline_; }
+
+#if SPEAKUP_AUDIT_ENABLED
+  /// Structural audit (SPEAKUP_AUDIT builds only; re-run after every insert
+  /// and pop_prefix — the arrays are tiny): intervals well-formed, sorted,
+  /// strictly disjoint and non-touching (touching intervals must have
+  /// merged), and the storage pointer/capacity bookkeeping consistent.
+  void audit() const {
+    SPEAKUP_AUDIT_CHECK(size_ <= cap_, "OooTracker: size must not exceed capacity");
+    SPEAKUP_AUDIT_CHECK(spilled() ? (data_ == spill_.data() && cap_ == spill_.size())
+                                  : cap_ == kInline,
+                        "OooTracker: storage pointer/capacity bookkeeping broken");
+    for (std::size_t i = 0; i < size_; ++i) {
+      SPEAKUP_AUDIT_CHECK(data_[i].begin < data_[i].end,
+                          "OooTracker: interval must be non-empty");
+      if (i > 0) {
+        SPEAKUP_AUDIT_CHECK(data_[i - 1].end < data_[i].begin,
+                            "OooTracker: intervals must be sorted, disjoint, non-touching");
+      }
+    }
+  }
+#endif
 
  private:
   static constexpr std::size_t kInline = 8;

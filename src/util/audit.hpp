@@ -1,0 +1,60 @@
+// SPEAKUP_AUDIT: debug-only structural self-checks for the hand-rolled
+// data structures (slab event loop, timer wheel, OOO tracker, ClientPool
+// cohort heap, Host connection slab). A silent corruption in any of them
+// would not crash — it would change event order, and with it every
+// downstream number, while all fingerprint pins happily pin the wrong
+// bytes. Audit mode re-verifies the invariants the structures rely on at
+// amortized checkpoints while real scenarios run.
+//
+// Activation: configure with -DSPEAKUP_AUDIT=ON (CMake adds the macro).
+// The checks are compiled in ONLY when the build is also a debug build
+// (!NDEBUG): in a Release build the macro is ignored and every audit hook
+// preprocesses away to nothing — zero residue, byte-identical binaries
+// (CI's audit job proves this with cmp over two Release builds). That makes
+// it safe to leave -DSPEAKUP_AUDIT=ON in a developer cache permanently.
+//
+// Usage inside a structure:
+//   - declare audit-only members/methods with SPEAKUP_AUDIT_ONLY(...)
+//   - assert invariants inside audit() bodies with
+//     SPEAKUP_AUDIT_CHECK(expr, "what this invariant means")
+//   - call the audit at amortized checkpoints via SPEAKUP_AUDIT_ONLY(...)
+//
+// A failed check prints "SPEAKUP_AUDIT invariant violated" with the
+// expression, message and location, then aborts — tests/audit_test.cpp
+// pins the detection with death tests against deliberately corrupted
+// structures.
+#pragma once
+
+#if defined(SPEAKUP_AUDIT) && SPEAKUP_AUDIT && !defined(NDEBUG)
+#define SPEAKUP_AUDIT_ENABLED 1
+#else
+#define SPEAKUP_AUDIT_ENABLED 0
+#endif
+
+#if SPEAKUP_AUDIT_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace speakup::util {
+
+[[noreturn]] inline void audit_fail(const char* expr, const char* what, const char* file,
+                                    int line) {
+  std::fprintf(stderr, "speakup: SPEAKUP_AUDIT invariant violated: %s (%s) at %s:%d\n",
+               what, expr, file, line);
+  std::abort();
+}
+
+}  // namespace speakup::util
+
+#define SPEAKUP_AUDIT_ONLY(...) __VA_ARGS__
+#define SPEAKUP_AUDIT_CHECK(expr, what)                               \
+  ((expr) ? static_cast<void>(0)                                      \
+          : ::speakup::util::audit_fail(#expr, what, __FILE__, __LINE__))
+
+#else
+
+#define SPEAKUP_AUDIT_ONLY(...)
+#define SPEAKUP_AUDIT_CHECK(expr, what) static_cast<void>(0)
+
+#endif

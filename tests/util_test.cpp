@@ -4,6 +4,9 @@
 #include <cmath>
 #include <set>
 
+#include <new>
+
+#include "util/alloc_guard.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -149,6 +152,28 @@ TEST(Fnv1a, StableKnownValues) {
   // FNV-1a of the empty string is the offset basis.
   EXPECT_EQ(util::fnv1a(""), 1469598103934665603ull);
   EXPECT_NE(util::fnv1a("a"), util::fnv1a("b"));
+}
+
+// Regression for an ASan alloc-dealloc-mismatch: counted_new.cpp must
+// override the nothrow operator-new variants alongside the throwing ones.
+// libstdc++'s stable_sort temporary buffer allocates with
+// `::operator new(n, std::nothrow)` and releases with plain
+// `::operator delete`; with only the plain forms replaced, ASan pairs its
+// own interposed nothrow-new with our free()-based delete and aborts
+// (first seen in ResultWriter::merge_csv under the ASan CI job). This
+// exercises exactly that pairing — and checks the allocation is counted.
+TEST(AllocGuard, CountsNothrowNew) {
+  if (!util::AllocGuard::counting()) {
+    GTEST_SKIP() << "speakup_counted_new not linked";
+  }
+  const util::AllocGuard guard;
+  void* p = ::operator new(64, std::nothrow);
+  ASSERT_NE(p, nullptr);
+  ::operator delete(p);  // the mismatched pairing ASan flagged
+  void* q = ::operator new[](64, std::nothrow);
+  ASSERT_NE(q, nullptr);
+  ::operator delete[](q, std::nothrow);
+  EXPECT_EQ(guard.delta(), 2) << "nothrow operator new must be counted";
 }
 
 }  // namespace

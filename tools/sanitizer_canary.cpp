@@ -1,0 +1,73 @@
+// Sanitizer canary: deliberately buggy code, one trigger per sanitizer.
+//
+// CI's sanitizer jobs run this binary EXPECTING a non-zero exit
+// (`! ./sanitizer_canary asan` etc.). A green suite proves nothing if the
+// build silently lost its instrumentation — the canary proves the
+// instrumented toolchain still detects faults. Never run it without a
+// sanitizer: the asan/tsan modes are real bugs.
+//
+// Modes:
+//   asan   heap-use-after-free       (AddressSanitizer)
+//   ubsan  signed integer overflow   (UndefinedBehaviorSanitizer, needs
+//                                     -fno-sanitize-recover=undefined)
+//   tsan   unsynchronized data race  (ThreadSanitizer)
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+namespace {
+
+// The use-after-free is the whole point of this function; silence the
+// compile-time diagnosis so -Werror builds still produce the runtime bug.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuse-after-free"
+int trigger_asan() {
+  int* p = new int[4];
+  p[0] = 41;
+  delete[] p;
+  // Hide the pointer's provenance: at -O3 the compiler otherwise
+  // constant-folds the load through the delete and no instrumented
+  // access ever executes (the canary would "survive" a working ASan).
+  __asm__ volatile("" : "+r"(p) : : "memory");
+  volatile int* vp = p;
+  return vp[0] + 1;  // use-after-free
+}
+#pragma GCC diagnostic pop
+
+int trigger_ubsan(int x) {
+  int v = 0x7fffffff;
+  return v + x;  // signed overflow
+}
+
+int plain = 0;
+
+int trigger_tsan() {
+  std::thread t([] { plain = 1; });  // racing unsynchronized write...
+  plain = 2;                         // ...against this one
+  t.join();
+  return plain;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s asan|ubsan|tsan\n", argv[0]);
+    return 2;
+  }
+  int r = 0;
+  if (std::strcmp(argv[1], "asan") == 0) {
+    r = trigger_asan();
+  } else if (std::strcmp(argv[1], "ubsan") == 0) {
+    r = trigger_ubsan(argc);
+  } else if (std::strcmp(argv[1], "tsan") == 0) {
+    r = trigger_tsan();
+  } else {
+    std::fprintf(stderr, "unknown mode %s\n", argv[1]);
+    return 2;
+  }
+  // Reaching this line means the sanitizer did NOT fire: exit 0 so the
+  // CI step's `!` inversion fails the job.
+  std::printf("canary survived (%d) -- sanitizer not active?\n", r);
+  return 0;
+}
